@@ -1,0 +1,97 @@
+// Command kdb-check statically validates knowledge-base program files:
+// parse errors, arity conflicts, rule safety (range restriction), and the
+// paper's §2.1 recursion discipline (strong linearity and typedness of
+// recursive rules). Exit status 0 means clean; 1 means errors; warnings
+// alone keep status 0 unless -strict.
+//
+// Usage:
+//
+//	kdb-check [-strict] program.kdb ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"kdb"
+	"kdb/internal/depgraph"
+	"kdb/internal/eval"
+	"kdb/internal/transform"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("kdb-check", flag.ContinueOnError)
+	strict := fs.Bool("strict", false, "treat discipline warnings as errors")
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(out, "usage: kdb-check [-strict] program.kdb ...")
+		return 1
+	}
+	status := 0
+	for _, path := range fs.Args() {
+		errs, warns := checkFile(path, out)
+		if errs > 0 || (*strict && warns > 0) {
+			status = 1
+		}
+	}
+	return status
+}
+
+func checkFile(path string, out io.Writer) (errors, warnings int) {
+	k := kdb.New()
+	if err := k.LoadFile(path); err != nil {
+		fmt.Fprintf(out, "%s: error: %v\n", path, err)
+		return 1, 0
+	}
+	rules := k.Rules()
+
+	// Safety (range restriction).
+	if err := eval.CheckSafety(rules); err != nil {
+		fmt.Fprintf(out, "%s: error: %v\n", path, err)
+		errors++
+	}
+
+	// §2.1 discipline.
+	g := depgraph.New(rules)
+	for _, v := range g.CheckDiscipline() {
+		fmt.Fprintf(out, "%s: warning: %s (describe will use the bounded §5.3 mode)\n", path, v)
+		warnings++
+	}
+
+	// Integrity constraints against the shipped facts.
+	violations, err := k.CheckConstraints()
+	if err != nil {
+		fmt.Fprintf(out, "%s: error: %v\n", path, err)
+		errors++
+	}
+	for _, v := range violations {
+		fmt.Fprintf(out, "%s: error: %s\n", path, v)
+		errors++
+	}
+
+	// Transformation dry run: surfaces degenerate recursion early.
+	if _, err := transform.Apply(rules); err != nil {
+		fmt.Fprintf(out, "%s: error: transformation failed: %v\n", path, err)
+		errors++
+	}
+
+	if errors == 0 {
+		cat := k.Catalog()
+		fmt.Fprintf(out, "%s: ok — %d facts, %d rules", path, k.FactCount(), len(rules))
+		if warnings > 0 {
+			fmt.Fprintf(out, ", %d warnings", warnings)
+		}
+		fmt.Fprintln(out)
+		fmt.Fprint(out, cat)
+	}
+	return errors, warnings
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeKB(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.kdb")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckCleanFile(t *testing.T) {
+	var out bytes.Buffer
+	status := run([]string{filepath.Join("..", "..", "testdata", "university.kdb")}, &out)
+	if status != 0 {
+		t.Fatalf("status = %d\n%s", status, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "ok —") || !strings.Contains(got, "IDB:") {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestCheckParseError(t *testing.T) {
+	path := writeKB(t, `p(a`)
+	var out bytes.Buffer
+	if status := run([]string{path}, &out); status != 1 {
+		t.Fatalf("status = %d", status)
+	}
+	if !strings.Contains(out.String(), "error:") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestCheckUnsafeRule(t *testing.T) {
+	path := writeKB(t, `p(X) :- q(Y).`)
+	var out bytes.Buffer
+	if status := run([]string{path}, &out); status != 1 {
+		t.Fatalf("status = %d\n%s", status, out.String())
+	}
+	if !strings.Contains(out.String(), "unsafe rule") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestCheckDisciplineWarning(t *testing.T) {
+	path := writeKB(t, `
+sym(X, Y) :- base(X, Y).
+sym(X, Y) :- sym(Y, X).
+`)
+	var out bytes.Buffer
+	// Warnings alone keep status 0…
+	if status := run([]string{path}, &out); status != 0 {
+		t.Fatalf("status = %d\n%s", status, out.String())
+	}
+	if !strings.Contains(out.String(), "warning:") {
+		t.Errorf("output = %q", out.String())
+	}
+	// …unless -strict.
+	out.Reset()
+	if status := run([]string{"-strict", path}, &out); status != 1 {
+		t.Fatalf("strict status = %d\n%s", status, out.String())
+	}
+}
+
+func TestCheckArityConflict(t *testing.T) {
+	path := writeKB(t, "p(a).\np(a, b).\n")
+	var out bytes.Buffer
+	if status := run([]string{path}, &out); status != 1 {
+		t.Fatalf("status = %d\n%s", status, out.String())
+	}
+}
+
+func TestCheckNoArgs(t *testing.T) {
+	var out bytes.Buffer
+	if status := run(nil, &out); status != 1 {
+		t.Fatal("no args must fail")
+	}
+	if !strings.Contains(out.String(), "usage:") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestCheckMultipleFiles(t *testing.T) {
+	good := writeKB(t, `p(a).`)
+	bad := writeKB(t, `q(`)
+	var out bytes.Buffer
+	if status := run([]string{good, bad}, &out); status != 1 {
+		t.Fatal("one bad file must fail the run")
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsMatch(t *testing.T) {
+	var out bytes.Buffer
+	status := run(filepath.Join("..", "..", "testdata"), &out)
+	if status != 0 {
+		t.Fatalf("experiments failed:\n%s", out.String())
+	}
+	got := out.String()
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "X1", "X2", "X3", "X4", "X5", "X6", "R1"} {
+		if !strings.Contains(got, "== "+id+" (") {
+			t.Errorf("experiment %s missing from output", id)
+		}
+	}
+	if strings.Contains(got, "DIFF") {
+		t.Errorf("unexpected DIFF:\n%s", got)
+	}
+	if !strings.Contains(got, "summary: 17/17 experiments match") {
+		t.Errorf("summary missing:\n%s", got)
+	}
+}
+
+func TestCanonicalRenaming(t *testing.T) {
+	cases := []struct {
+		a, b string
+		same bool
+	}{
+		{"p(X) <- q(X, Z)", "p(A) <- q(A, B)", true},
+		{"p(X) <- q(X, X)", "p(A) <- q(A, B)", false},
+		{"p(X) <- q(databases, X)", "p(A) <- q(databases, A)", true},
+		{"p(X) <- q(databases, X)", "p(A) <- q(ai, A)", false},
+		{"U > 3.3", "W > 3.3", true},
+		{"U > 3.3", "W > 3.4", false},
+		// Lower-case symbols are not variables.
+		{"p(x)", "p(y)", false},
+		// Mid-word capitals are not variables.
+		{"can_ta(X, W2)", "can_ta(A, B)", true},
+	}
+	for _, c := range cases {
+		got := canonical(c.a) == canonical(c.b)
+		if got != c.same {
+			t.Errorf("canonical(%q) vs canonical(%q): same=%v, want %v (%q / %q)",
+				c.a, c.b, got, c.same, canonical(c.a), canonical(c.b))
+		}
+	}
+}
+
+func TestSameModuloVars(t *testing.T) {
+	a := []string{"p(X) <- q(X)", "p(X) <- r(X, Z)"}
+	b := []string{"p(A) <- r(A, Q)", "p(A) <- q(A)"} // reordered + renamed
+	if !sameModuloVars(a, b) {
+		t.Error("reordered, renamed answers must match")
+	}
+	if sameModuloVars(a, b[:1]) {
+		t.Error("different lengths must not match")
+	}
+	if !containsModuloVars(b, a[:1]) {
+		t.Error("containment must hold")
+	}
+	if containsModuloVars(b, []string{"p(A) <- zz(A)"}) {
+		t.Error("absent formula must not be contained")
+	}
+}
+
+func TestBadDataDir(t *testing.T) {
+	var out bytes.Buffer
+	if status := run(t.TempDir(), &out); status == 0 {
+		t.Error("missing data must fail")
+	}
+	if !strings.Contains(out.String(), "ERROR") {
+		t.Errorf("output = %q", out.String())
+	}
+}

@@ -1,0 +1,246 @@
+// Command kdb is an interactive shell and batch runner for knowledge-rich
+// databases: the single coherent instrument of the paper, accepting both
+// data queries (retrieve) and knowledge queries (describe, compare).
+//
+// Usage:
+//
+//	kdb [flags] [program.kdb ...]
+//
+// With -exec the given queries run and the program exits; otherwise an
+// interactive prompt reads statements (terminated by '.') and meta
+// commands (starting with '.'). Type `.help` at the prompt.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"kdb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "kdb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("kdb", flag.ContinueOnError)
+	var (
+		dbDir  = fs.String("db", "", "durable database directory (default: in-memory)")
+		engine = fs.String("engine", "seminaive", "retrieve engine: naive, seminaive, topdown, magic")
+		exec   = fs.String("exec", "", "execute the given queries and exit")
+		quiet  = fs.Bool("q", false, "suppress the banner and prompts")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var k *kdb.KB
+	var err error
+	if *dbDir != "" {
+		k, err = kdb.Open(*dbDir)
+		if err != nil {
+			return err
+		}
+		defer k.Close()
+	} else {
+		k = kdb.New()
+	}
+	if err := k.SetEngine(kdb.EngineKind(*engine)); err != nil {
+		return err
+	}
+	for _, path := range fs.Args() {
+		if err := k.LoadFile(path); err != nil {
+			return fmt.Errorf("loading %s: %w", path, err)
+		}
+		if !*quiet {
+			fmt.Fprintf(out, "loaded %s (%d facts, %d rules)\n", path, k.FactCount(), len(k.Rules()))
+		}
+	}
+
+	if *exec != "" {
+		queries, err := kdb.ParseQueries(*exec)
+		if err != nil {
+			return err
+		}
+		for _, q := range queries {
+			res, err := k.Exec(q)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, res)
+		}
+		return nil
+	}
+
+	return repl(k, in, out, *quiet)
+}
+
+func repl(k *kdb.KB, in io.Reader, out io.Writer, quiet bool) error {
+	if !quiet {
+		fmt.Fprintln(out, "kdb — querying database knowledge (retrieve / describe / compare; .help for help)")
+	}
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if quiet {
+			return
+		}
+		if buf.Len() == 0 {
+			fmt.Fprint(out, "kdb> ")
+		} else {
+			fmt.Fprint(out, "...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			prompt()
+			continue
+		case buf.Len() == 0 && strings.HasPrefix(line, "."):
+			if quit := metaCommand(k, line, out); quit {
+				return nil
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte(' ')
+		if strings.HasSuffix(line, ".") {
+			stmt := buf.String()
+			buf.Reset()
+			execute(k, stmt, out)
+		}
+		prompt()
+	}
+	return scanner.Err()
+}
+
+// execute runs one statement: a query, or a program fragment (facts and
+// rules are loaded directly, so the shell doubles as a data-entry tool).
+func execute(k *kdb.KB, stmt string, out io.Writer) {
+	trimmed := strings.TrimSpace(stmt)
+	for _, kw := range []string{"retrieve", "describe", "compare"} {
+		if strings.HasPrefix(trimmed, kw) {
+			res, err := k.ExecString(stmt)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				return
+			}
+			fmt.Fprintln(out, res)
+			return
+		}
+	}
+	if err := k.LoadString(stmt); err != nil {
+		fmt.Fprintln(out, "error:", err)
+		return
+	}
+	fmt.Fprintln(out, "ok")
+}
+
+func metaCommand(k *kdb.KB, line string, out io.Writer) (quit bool) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".quit", ".exit":
+		return true
+	case ".help":
+		fmt.Fprint(out, `statements (end with '.'):
+  student(ann, math, 3.9).                          add a fact
+  honor(X) :- student(X, M, G), G > 3.7.            add a rule
+  retrieve honor(X) where enroll(X, databases).     data query
+  describe can_ta(X, databases) where student(X, math, V) and V > 3.7.
+  describe honor(X) where necessary complete(X, C, S, G).
+  describe can_ta(X, Y) where not honor(X).         is honor necessary?
+  describe where student(X, M, G) and G < 3.5 and can_ta(X, C).
+  describe * where honor(X).                        what follows from honor?
+  describe honor(X) where p(X) or q(X).             disjunctive hypothesis
+  compare (describe honor(X)) with (describe deans_list(X)).
+meta commands:
+  .load FILE     load a program file
+  .rules         list the IDB rules
+  .preds         list the catalog
+  .validate      check the §2.1 recursion discipline
+  .engine NAME   switch retrieve engine (naive, seminaive, topdown, magic)
+  .intensional on|off   answer data queries with knowledge attached
+  .provenance on|off    show the rules behind each describe answer
+  .checkpoint    fold the WAL into a snapshot (durable databases)
+  .quit          leave
+`)
+	case ".load":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: .load FILE")
+			return false
+		}
+		if err := k.LoadFile(fields[1]); err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
+		fmt.Fprintf(out, "loaded %s (%d facts, %d rules)\n", fields[1], k.FactCount(), len(k.Rules()))
+	case ".rules":
+		for _, r := range k.Rules() {
+			fmt.Fprintln(out, r)
+		}
+	case ".preds":
+		fmt.Fprint(out, k.Catalog())
+	case ".validate":
+		issues := k.Validate()
+		violations, err := k.CheckConstraints()
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
+		if len(issues) == 0 && len(violations) == 0 {
+			fmt.Fprintln(out, "ok: rules are disciplined and the data satisfies all constraints")
+			return false
+		}
+		for _, s := range issues {
+			fmt.Fprintln(out, "warning:", s)
+		}
+		for _, s := range violations {
+			fmt.Fprintln(out, "violation:", s)
+		}
+	case ".engine":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: .engine naive|seminaive|topdown|magic")
+			return false
+		}
+		if err := k.SetEngine(kdb.EngineKind(fields[1])); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		} else {
+			fmt.Fprintln(out, "engine:", fields[1])
+		}
+	case ".intensional":
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			fmt.Fprintln(out, "usage: .intensional on|off")
+			return false
+		}
+		k.SetIntensional(fields[1] == "on")
+		fmt.Fprintln(out, "intensional answers:", fields[1])
+	case ".provenance":
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			fmt.Fprintln(out, "usage: .provenance on|off")
+			return false
+		}
+		k.SetProvenance(fields[1] == "on")
+		fmt.Fprintln(out, "provenance:", fields[1])
+	case ".checkpoint":
+		if err := k.Checkpoint(); err != nil {
+			fmt.Fprintln(out, "error:", err)
+		} else {
+			fmt.Fprintln(out, "checkpointed")
+		}
+	default:
+		fmt.Fprintf(out, "unknown command %s (try .help)\n", fields[0])
+	}
+	return false
+}

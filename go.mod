@@ -1,0 +1,3 @@
+module kdb
+
+go 1.24

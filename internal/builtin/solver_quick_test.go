@@ -1,0 +1,247 @@
+package builtin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kdb/internal/term"
+)
+
+// The brute-force oracle evaluates a conjunction of numeric comparisons
+// under every assignment of the variables to grid points. The grid is
+// fine enough (step 0.25 around the constants 1..3) that for up to three
+// variables the restricted problem is equisatisfiable with the dense one:
+// a chain of strict inequalities between adjacent constants needs at most
+// three intermediate points and the grid provides them.
+
+var gridPoints = func() []float64 {
+	var pts []float64
+	for v := 0.0; v <= 4.0; v += 0.25 {
+		pts = append(pts, v)
+	}
+	return pts
+}()
+
+var quickVars = []term.Term{term.Var("X"), term.Var("Y"), term.Var("Z")}
+
+func randComparison(r *rand.Rand) term.Atom {
+	ops := []string{"=", "!=", "<", "<=", ">", ">="}
+	pick := func() term.Term {
+		if r.Intn(3) == 0 {
+			return term.Num(float64(1 + r.Intn(3)))
+		}
+		return quickVars[r.Intn(len(quickVars))]
+	}
+	return term.NewAtom(ops[r.Intn(len(ops))], pick(), pick())
+}
+
+func randConj(r *rand.Rand, n int) term.Formula {
+	f := make(term.Formula, n)
+	for i := range f {
+		f[i] = randComparison(r)
+	}
+	return f
+}
+
+func groundEval(f term.Formula, env map[term.Term]float64) bool {
+	for _, a := range f {
+		val := func(t term.Term) float64 {
+			if t.IsVar() {
+				return env[t]
+			}
+			return t.Float()
+		}
+		l, r := val(a.Args[0]), val(a.Args[1])
+		var ok bool
+		switch a.Pred {
+		case "=":
+			ok = l == r
+		case "!=":
+			ok = l != r
+		case "<":
+			ok = l < r
+		case "<=":
+			ok = l <= r
+		case ">":
+			ok = l > r
+		case ">=":
+			ok = l >= r
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachAssignment enumerates grid assignments; fn returning false stops.
+func forEachAssignment(fn func(env map[term.Term]float64) bool) {
+	env := make(map[term.Term]float64, len(quickVars))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(quickVars) {
+			return fn(env)
+		}
+		for _, v := range gridPoints {
+			env[quickVars[i]] = v
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+func bruteSat(f term.Formula) bool {
+	sat := false
+	forEachAssignment(func(env map[term.Term]float64) bool {
+		if groundEval(f, env) {
+			sat = true
+			return false
+		}
+		return true
+	})
+	return sat
+}
+
+func bruteImplies(alpha, beta term.Formula) bool {
+	holds := true
+	forEachAssignment(func(env map[term.Term]float64) bool {
+		if groundEval(alpha, env) && !groundEval(beta, env) {
+			holds = false
+			return false
+		}
+		return true
+	})
+	return holds
+}
+
+// TestQuickSatMatchesBruteForce cross-checks the solver's satisfiability
+// against grid enumeration on random numeric conjunctions.
+func TestQuickSatMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		conj := randConj(r, 1+r.Intn(4))
+		got, err := Sat(conj)
+		if err != nil {
+			return false
+		}
+		want := bruteSat(conj)
+		if got != want {
+			t.Logf("seed %d: Sat(%v) = %v, brute force = %v", seed, conj, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickImpliesSound: whenever the solver claims α ⊢ β, the brute-force
+// oracle agrees (no grid assignment satisfies α but violates β). The
+// solver is deliberately incomplete (it may miss entailments), so only
+// the sound direction is asserted.
+func TestQuickImpliesSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		alpha := randConj(r, 1+r.Intn(3))
+		beta := randConj(r, 1+r.Intn(2))
+		got, err := Implies(alpha, beta)
+		if err != nil {
+			return false
+		}
+		if got && !bruteImplies(alpha, beta) {
+			t.Logf("seed %d: claimed %v ⊢ %v but brute force disagrees", seed, alpha, beta)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickImpliesSingleAtomComplete: for single-atom β over terms that
+// appear in α, the solver's entailment matches brute force exactly. This
+// is the case the paper's comparison post-pass relies on ("corresponding
+// variables are identical").
+func TestQuickImpliesSingleAtomComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		alpha := randConj(r, 1+r.Intn(3))
+		// Build β from terms appearing in alpha to keep it relevant.
+		var pool []term.Term
+		for _, a := range alpha {
+			pool = append(pool, a.Args...)
+		}
+		ops := []string{"=", "!=", "<", "<=", ">", ">="}
+		beta := term.Formula{term.NewAtom(ops[r.Intn(len(ops))], pool[r.Intn(len(pool))], pool[r.Intn(len(pool))])}
+		got, err := Implies(alpha, beta)
+		if err != nil {
+			return false
+		}
+		want := bruteImplies(alpha, beta)
+		if got != want {
+			t.Logf("seed %d: Implies(%v ⊢ %v) = %v, brute force = %v", seed, alpha, beta, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickContradictsMatchesBruteForce: the discard test of §4.
+func TestQuickContradictsMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		alpha := randConj(r, 1+r.Intn(2))
+		beta := randConj(r, 1+r.Intn(2))
+		got, err := Contradicts(alpha, beta)
+		if err != nil {
+			return false
+		}
+		want := !bruteSat(append(alpha.Clone(), beta...))
+		if got != want {
+			t.Logf("seed %d: Contradicts(%v, %v) = %v, brute force = %v", seed, alpha, beta, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSolverSat(b *testing.B) {
+	x, y, z := term.Var("X"), term.Var("Y"), term.Var("Z")
+	conj := term.Formula{
+		term.NewAtom(">", x, term.Num(3.3)),
+		term.NewAtom("<", x, term.Num(4)),
+		term.NewAtom("<=", y, x),
+		term.NewAtom("<", z, y),
+		term.NewAtom("!=", z, term.Num(3.5)),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sat(conj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolverImplies(b *testing.B) {
+	x := term.Var("X")
+	alpha := term.Formula{term.NewAtom(">", x, term.Num(3.7))}
+	beta := term.Formula{term.NewAtom(">", x, term.Num(3.3))}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Implies(alpha, beta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package catalog maintains the schema of a knowledge-rich database: the
+// mutually disjoint predicate sets P (extensional), R (built-in) and S
+// (intensional) of the paper's Section 2.1, each predicate's arity, and
+// the optional schema annotations (@key, @name) used by the Section 6
+// extensions.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kdb/internal/term"
+)
+
+// Class partitions predicates into the paper's three disjoint sets.
+type Class uint8
+
+// Predicate classes.
+const (
+	// ClassEDB is a stored predicate (set P): defined by its facts.
+	ClassEDB Class = iota
+	// ClassIDB is a derived predicate (set S): defined by its rules.
+	ClassIDB
+	// ClassBuiltin is a built-in comparison predicate (set R).
+	ClassBuiltin
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassEDB:
+		return "EDB"
+	case ClassIDB:
+		return "IDB"
+	case ClassBuiltin:
+		return "builtin"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Pred describes one predicate.
+type Pred struct {
+	Name  string
+	Arity int
+	Class Class
+	// Keys lists the declared candidate keys, each a sorted set of 1-based
+	// column numbers. Used by the possibility checker (§6 extension 3).
+	Keys [][]int
+	// Display is the preferred rendering name (from @name), used when the
+	// Imielinski transformation introduces artificial predicates (§5.3).
+	Display string
+}
+
+// Functor returns "name/arity". A predicate known only from a @name
+// declaration has no arity yet and renders as its bare name.
+func (p *Pred) Functor() string {
+	if p.Arity < 0 {
+		return p.Name
+	}
+	return fmt.Sprintf("%s/%d", p.Name, p.Arity)
+}
+
+// Catalog is the schema of one knowledge base. The zero value is not
+// usable; call New.
+type Catalog struct {
+	preds map[string]*Pred // keyed by name (arity is enforced consistent)
+}
+
+// New returns an empty catalog with the built-in comparison predicates
+// pre-registered.
+func New() *Catalog {
+	c := &Catalog{preds: make(map[string]*Pred)}
+	for _, op := range []string{term.PredEq, term.PredNe, term.PredLt, term.PredLe, term.PredGt, term.PredGe} {
+		c.preds[op] = &Pred{Name: op, Arity: 2, Class: ClassBuiltin}
+	}
+	return c
+}
+
+// Lookup returns the predicate descriptor, or nil if unknown.
+func (c *Catalog) Lookup(name string) *Pred { return c.preds[name] }
+
+// Class returns the class of a predicate name; unknown names report
+// ClassEDB (an unknown predicate in a query body is an empty stored
+// relation, matching standard Datalog semantics) and false.
+func (c *Catalog) Class(name string) (Class, bool) {
+	if p := c.preds[name]; p != nil {
+		return p.Class, true
+	}
+	return ClassEDB, false
+}
+
+// IsIDB reports whether the predicate is intensional.
+func (c *Catalog) IsIDB(name string) bool {
+	p := c.preds[name]
+	return p != nil && p.Class == ClassIDB
+}
+
+// IsEDB reports whether the predicate is extensional (stored).
+func (c *Catalog) IsEDB(name string) bool {
+	p := c.preds[name]
+	return p != nil && p.Class == ClassEDB
+}
+
+// IsBuiltin reports whether the predicate is a built-in comparison.
+func (c *Catalog) IsBuiltin(name string) bool {
+	p := c.preds[name]
+	return p != nil && p.Class == ClassBuiltin
+}
+
+// Preds returns all registered predicates of the given class, sorted by
+// name for deterministic iteration.
+func (c *Catalog) Preds(class Class) []*Pred {
+	var out []*Pred
+	for _, p := range c.preds {
+		if p.Class == class {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Declare registers a predicate with the given class and arity. It is an
+// error to re-declare with a different arity or a conflicting class.
+// Re-declaring identically is a no-op.
+func (c *Catalog) Declare(name string, arity int, class Class) (*Pred, error) {
+	if term.IsComparisonPred(name) && class != ClassBuiltin {
+		return nil, fmt.Errorf("catalog: %q is a built-in comparison and cannot be redefined", name)
+	}
+	if p, ok := c.preds[name]; ok {
+		if p.Arity != arity {
+			return nil, fmt.Errorf("catalog: predicate %s used with arity %d but previously with arity %d", name, arity, p.Arity)
+		}
+		if p.Class != class {
+			return nil, fmt.Errorf("catalog: predicate %s is %s but used as %s (the sets P, R, S are disjoint)", name, p.Class, class)
+		}
+		return p, nil
+	}
+	p := &Pred{Name: name, Arity: arity, Class: class}
+	c.preds[name] = p
+	return p, nil
+}
+
+// Promote upgrades an EDB predicate to IDB. This is how a predicate that
+// was first seen in a ground fact becomes intensional when a later rule
+// defines it: its facts become bodiless rules (paper §2.1 allows rules
+// with n = 0 subgoals).
+func (c *Catalog) Promote(name string) error {
+	p, ok := c.preds[name]
+	if !ok {
+		return fmt.Errorf("catalog: cannot promote unknown predicate %s", name)
+	}
+	if p.Class == ClassBuiltin {
+		return fmt.Errorf("catalog: cannot promote built-in %s", name)
+	}
+	p.Class = ClassIDB
+	return nil
+}
+
+// AddKey records a candidate key (1-based column numbers) for the
+// predicate. The predicate must already be declared with matching arity.
+func (c *Catalog) AddKey(name string, arity int, cols []int) error {
+	p, ok := c.preds[name]
+	if !ok {
+		// Allow a @key declaration to precede the first fact.
+		var err error
+		p, err = c.Declare(name, arity, ClassEDB)
+		if err != nil {
+			return err
+		}
+	}
+	if p.Arity != arity {
+		return fmt.Errorf("catalog: @key %s/%d conflicts with arity %d", name, arity, p.Arity)
+	}
+	key := append([]int(nil), cols...)
+	sort.Ints(key)
+	for i, col := range key {
+		if col < 1 || col > arity {
+			return fmt.Errorf("catalog: @key %s/%d column %d out of range", name, arity, col)
+		}
+		if i > 0 && key[i-1] == col {
+			return fmt.Errorf("catalog: @key %s/%d repeats column %d", name, arity, col)
+		}
+	}
+	for _, existing := range p.Keys {
+		if equalInts(existing, key) {
+			return nil // idempotent
+		}
+	}
+	p.Keys = append(p.Keys, key)
+	return nil
+}
+
+// SetDisplay records the preferred display name for a predicate,
+// declaring it lazily if needed (the artificial predicates of the
+// transformation may not exist yet when the program is loaded).
+func (c *Catalog) SetDisplay(name, display string) {
+	p, ok := c.preds[name]
+	if !ok {
+		p = &Pred{Name: name, Arity: -1, Class: ClassIDB}
+		c.preds[name] = p
+	}
+	p.Display = display
+}
+
+// DisplayName returns the preferred rendering name for a predicate
+// (falling back to the predicate name itself).
+func (c *Catalog) DisplayName(name string) string {
+	if p, ok := c.preds[name]; ok && p.Display != "" {
+		return p.Display
+	}
+	return name
+}
+
+// CheckAtom validates one atom occurrence against the catalog: known
+// predicates must be used with a consistent arity. Unknown predicates are
+// registered with the given default class.
+func (c *Catalog) CheckAtom(a term.Atom, defaultClass Class) error {
+	if term.IsComparisonPred(a.Pred) {
+		if len(a.Args) != 2 {
+			return fmt.Errorf("catalog: comparison %s used with arity %d, want 2", a.Pred, len(a.Args))
+		}
+		return nil
+	}
+	_, err := c.Declare(a.Pred, len(a.Args), defaultClass)
+	return err
+}
+
+// String summarizes the catalog for diagnostics.
+func (c *Catalog) String() string {
+	var b strings.Builder
+	for _, class := range []Class{ClassEDB, ClassIDB, ClassBuiltin} {
+		ps := c.Preds(class)
+		if len(ps) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s:", class)
+		for _, p := range ps {
+			fmt.Fprintf(&b, " %s", p.Functor())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

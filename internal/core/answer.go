@@ -1,0 +1,182 @@
+// Package core implements the paper's primary contribution: evaluation of
+// knowledge queries — the `describe p where ψ` statement (§3.2) — through
+// Algorithm 1 (non-recursive subjects, §4) and Algorithm 2 (the general
+// case via the rule transformation, tags and typed substitutions, §5),
+// together with the Section 6 extensions: `where necessary`, negative
+// hypotheses, the subjectless possibility check, the wildcard subject,
+// and concept comparison.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kdb/internal/term"
+)
+
+// Answer is one formula of a knowledge answer: a rule `subject ← body`
+// that is logically derived from the IDB under the query's hypothesis.
+type Answer struct {
+	// Head is the subject atom with the user's variables.
+	Head term.Atom
+	// Body is the residual positive formula: the derivation-tree leaves
+	// that were not identified with hypothesis formulas, plus equality
+	// atoms recording bindings the identification imposed on subject
+	// variables.
+	Body term.Formula
+	// UsedHypothesis holds the indices (into the query's hypothesis) of
+	// the conjuncts that participated in this answer — by identification
+	// for ordinary conjuncts, by implication for comparisons. It drives
+	// the `where necessary` extension.
+	UsedHypothesis []int
+	// ViaRules records the rules applied in the derivation, for
+	// provenance display.
+	ViaRules []term.Rule
+}
+
+// Rule renders the answer as a Horn rule.
+func (a Answer) Rule() term.Rule { return term.Rule{Head: a.Head, Body: a.Body} }
+
+// Provenance returns the distinct IDB rules the derivation applied, in
+// application order — the paper's theorems are consequences of these
+// axioms plus the hypothesis.
+func (a Answer) Provenance() []term.Rule {
+	seen := make(map[string]bool, len(a.ViaRules))
+	out := make([]term.Rule, 0, len(a.ViaRules))
+	for _, r := range a.ViaRules {
+		k := r.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// String renders the answer in the paper's style, e.g.
+// "can_ta(X, databases) <- complete(X, databases, Z, U) and U > 3.3".
+func (a Answer) String() string {
+	if len(a.Body) == 0 {
+		return a.Head.String() + " <- true"
+	}
+	return a.Head.String() + " <- " + a.Body.String()
+}
+
+// key canonicalizes the answer for duplicate elimination: user variables
+// (those of the head) stay fixed, all other variables are renamed in
+// order of first occurrence, and the body is treated as a set.
+func (a Answer) key(userVars map[term.Term]bool) string {
+	renamed := canonicalizeVars(a.Body, userVars)
+	return a.Head.Key() + "\x03" + renamed.SetKey()
+}
+
+// canonicalizeVars renames every non-user variable of the formula to
+// _G1, _G2, … in order of first occurrence.
+func canonicalizeVars(f term.Formula, userVars map[term.Term]bool) term.Formula {
+	s := term.NewSubst(4)
+	n := 0
+	out := make(term.Formula, len(f))
+	for i, atom := range f {
+		args := make([]term.Term, len(atom.Args))
+		for j, t := range atom.Args {
+			if t.IsVar() && !userVars[t] {
+				v, ok := s[t]
+				if !ok {
+					n++
+					v = term.Var(fmt.Sprintf("_G%d", n))
+					s[t] = v
+				}
+				args[j] = v
+			} else {
+				args[j] = t
+			}
+		}
+		out[i] = term.Atom{Pred: atom.Pred, Args: args}
+	}
+	return out
+}
+
+// Answers is the complete response to a describe query.
+type Answers struct {
+	// Subject and Hypothesis echo the query.
+	Subject    term.Atom
+	Hypothesis term.Formula
+	// Formulas are the answer rules, redundancy-eliminated, in derivation
+	// order.
+	Formulas []Answer
+	// Contradiction is the paper's special answer: every candidate was
+	// discarded because the hypothesis contradicts the IDB's comparison
+	// constraints (§4, end).
+	Contradiction bool
+	// Truncated reports that the search hit a resource bound (MaxNodes or
+	// MaxAnswers) and the answer may be incomplete.
+	Truncated bool
+	// Nodes counts the derivation-tree search steps the query took — a
+	// machine-independent cost measure for the ablation benchmarks.
+	Nodes int
+}
+
+// Empty reports whether the answer carries no information.
+func (as *Answers) Empty() bool { return len(as.Formulas) == 0 && !as.Contradiction }
+
+// String renders the whole answer, one formula per line.
+func (as *Answers) String() string {
+	if as.Contradiction {
+		return "false (the hypothesis contradicts the knowledge base)"
+	}
+	if len(as.Formulas) == 0 {
+		return "no answer"
+	}
+	lines := make([]string, len(as.Formulas))
+	for i, a := range as.Formulas {
+		lines[i] = a.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// SortedStrings renders the formulas in a deterministic order (for tests).
+func (as *Answers) SortedStrings() []string {
+	out := make([]string, len(as.Formulas))
+	for i, a := range as.Formulas {
+		out[i] = a.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// prettify renames machine-generated variables (X_12) in the answer body
+// back to readable base names (X), provided the base name does not clash
+// with a user variable or another renamed variable of the same answer.
+func (a *Answer) prettify(userVars map[term.Term]bool) {
+	taken := make(map[string]bool, len(userVars)+4)
+	for v := range userVars {
+		taken[v.Name()] = true
+	}
+	rename := term.NewSubst(4)
+	fresh := 0
+	for _, atom := range a.Body {
+		for _, t := range atom.Args {
+			if !t.IsVar() || userVars[t] {
+				continue
+			}
+			if _, done := rename[t]; done {
+				continue
+			}
+			base := t.Name()
+			if i := strings.IndexByte(base, '_'); i > 0 {
+				base = base[:i]
+			}
+			name := base
+			for taken[name] {
+				fresh++
+				name = fmt.Sprintf("%s%d", base, fresh)
+			}
+			taken[name] = true
+			rename[t] = term.Var(name)
+		}
+	}
+	if len(rename) > 0 {
+		a.Body = rename.ApplyFormula(a.Body)
+	}
+}

@@ -1,0 +1,778 @@
+package core
+
+import (
+	"fmt"
+
+	"kdb/internal/builtin"
+	"kdb/internal/depgraph"
+	"kdb/internal/term"
+	"kdb/internal/transform"
+)
+
+// Options tune the describe engine.
+type Options struct {
+	// MaxDepth bounds rule expansions along any derivation-tree branch
+	// (a safety net; the tags already bound disciplined recursion).
+	MaxDepth int
+	// UntypedBound is the §5.3 escape hatch: the maximum number of
+	// applications of undisciplined (untyped / non-strongly-linear)
+	// recursive rules along one branch.
+	UntypedBound int
+	// MaxAnswers caps the number of raw answers explored.
+	MaxAnswers int
+	// MaxNodes caps the total number of search steps; when exceeded the
+	// search stops and returns the answers found so far (Truncated is set
+	// on the result).
+	MaxNodes int
+	// KeepSteps disables rewriting artificial step-predicate atoms into
+	// atoms of the original predicate (the modified transformation of
+	// §5.3). By default answers prefer the original predicate, matching
+	// the paper's preferred rendering of Example 6.
+	KeepSteps bool
+	// Constraints are the knowledge base's integrity constraints — the
+	// paper's second Horn-clause form ¬(p1 ∧ … ∧ pn) (§2.1). The §6
+	// possibility checker and negative-hypothesis checker reject
+	// situations that trigger one.
+	Constraints []term.Formula
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 16
+	}
+	if o.UntypedBound == 0 {
+		o.UntypedBound = 2
+	}
+	if o.MaxAnswers == 0 {
+		o.MaxAnswers = 512
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 2_000_000
+	}
+	return o
+}
+
+// Describer answers knowledge queries over a fixed rule set. Build one
+// with New; it is safe for concurrent use.
+type Describer struct {
+	rules []term.Rule
+	graph *depgraph.Graph
+
+	trans  *transform.Result
+	tgraph *depgraph.Graph
+	// recPreds are the predicates with recursive rules in the transformed
+	// set; the typed-substitution guard of Algorithm 2 applies to them.
+	recPreds map[string]bool
+
+	// keys are candidate keys per predicate (1-based columns), used by
+	// the possibility checker (§6 extension 3).
+	keys map[string][][]int
+
+	// icDisjuncts are the integrity constraints expanded to EDB level,
+	// one slice of alternative forbidden patterns per constraint.
+	icDisjuncts [][]term.Formula
+
+	opts Options
+}
+
+// New builds a describer for the rule set. keys may be nil.
+func New(rules []term.Rule, keys map[string][][]int, opts Options) (*Describer, error) {
+	trans, err := transform.Apply(rules)
+	if err != nil {
+		return nil, err
+	}
+	tgraph := depgraph.New(trans.Rules)
+	// The typed-substitution guard applies to the predicates that went
+	// through the transformation and their step predicates. Undisciplined
+	// recursive rules are exempt from the typing requirement (§5.3, end):
+	// they are metered by the untyped bound instead.
+	rec := make(map[string]bool)
+	for pred, tr := range trans.ByPred {
+		rec[pred] = true
+		rec[tr.StepPred] = true
+	}
+	if keys == nil {
+		keys = map[string][][]int{}
+	}
+	d := &Describer{
+		rules:    rules,
+		graph:    depgraph.New(rules),
+		trans:    trans,
+		tgraph:   tgraph,
+		recPreds: rec,
+		keys:     keys,
+		opts:     opts.withDefaults(),
+	}
+	// Expand each integrity constraint to stored-predicate level so the
+	// consistency checker can match it against unfolded situations even
+	// when the constraint names derived concepts.
+	for _, ic := range d.opts.Constraints {
+		dis, _, err := d.unfold(ic, defaultUnfoldLimits())
+		if err != nil {
+			return nil, err
+		}
+		d.icDisjuncts = append(d.icDisjuncts, dis)
+	}
+	return d, nil
+}
+
+// Rules returns the original rule set.
+func (d *Describer) Rules() []term.Rule { return d.rules }
+
+// TransformedRules returns the rule set after the §5.2 transformation.
+func (d *Describer) TransformedRules() []term.Rule { return d.trans.Rules }
+
+// Describe evaluates `describe subject where hypothesis` (§3.2). The
+// subject must be an IDB predicate (it has at least one rule). The
+// hypothesis is a positive formula; its comparison conjuncts drive the §4
+// comparison post-pass, its ordinary conjuncts are identification
+// targets.
+//
+// The algorithm selection follows the paper: when the subject predicate
+// is not recursive and does not depend on a recursive predicate,
+// Algorithm 1 runs over the original rules; otherwise Algorithm 2 runs
+// over the transformed rules with tags and typed substitutions.
+func (d *Describer) Describe(subject term.Atom, hypothesis term.Formula) (*Answers, error) {
+	if term.IsComparison(subject) {
+		return nil, fmt.Errorf("core: the subject of describe cannot be a comparison")
+	}
+	if len(d.graph.RulesFor(subject.Pred)) == 0 {
+		return nil, fmt.Errorf("core: %s is not an IDB predicate; describe inquires about defined concepts", subject.Pred)
+	}
+	hypOrd, hypCmp := splitHypothesis(hypothesis)
+	alg2 := d.graph.DependsOnRecursive(subject.Pred)
+	if len(hypOrd) == 0 {
+		// No identification targets: the answer is the subject's own
+		// definition (§4's one-level exception, Example 4). The original
+		// rules are the right rendering — the transformation is an
+		// internal device of Algorithm 2's search.
+		alg2 = false
+	}
+	rules := d.rules
+	g := d.graph
+	if alg2 {
+		rules = d.trans.Rules
+		g = d.tgraph
+	}
+	userVars := make(map[term.Term]bool)
+	subjectVars := make(map[term.Term]bool)
+	hypVars := make(map[term.Term]bool)
+	for _, v := range subject.Vars(nil) {
+		userVars[v] = true
+		subjectVars[v] = true
+	}
+	for _, v := range hypothesis.Vars() {
+		userVars[v] = true
+		hypVars[v] = true
+	}
+
+	s := &search{
+		d:           d,
+		alg2:        alg2,
+		graph:       g,
+		subject:     subject,
+		hypOrd:      hypOrd,
+		hypCmp:      hypCmp,
+		userVars:    userVars,
+		subjectVars: subjectVars,
+		hypVars:     hypVars,
+		seen:        make(map[string]bool),
+		usedHyp:     make(map[int]bool),
+	}
+	byHead := make(map[string][]term.Rule)
+	for _, r := range rules {
+		byHead[r.Head.Pred] = append(byHead[r.Head.Pred], r)
+	}
+	s.byHead = byHead
+
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+
+	ans := &Answers{Subject: subject, Hypothesis: hypothesis, Truncated: s.truncated, Nodes: s.nodes}
+	ans.Formulas = eliminateRedundant(s.answers, userVars)
+	if len(ans.Formulas) == 0 && s.discarded > 0 {
+		ans.Contradiction = true
+	}
+	return ans, nil
+}
+
+// indexedAtom is a hypothesis conjunct with its original index.
+type indexedAtom struct {
+	idx  int
+	atom term.Atom
+}
+
+func splitHypothesis(h term.Formula) (ord []indexedAtom, cmp []indexedAtom) {
+	for i, a := range h {
+		if term.IsComparison(a) {
+			cmp = append(cmp, indexedAtom{i, a})
+		} else {
+			ord = append(ord, indexedAtom{i, a})
+		}
+	}
+	return ord, cmp
+}
+
+// node tags of Algorithm 2 (§5.3): tag 0 forbids applying a recursive
+// rule to the node; 1 and 2 meter the continuation rule.
+type nodeTag uint8
+
+const (
+	tagNone nodeTag = iota
+	tag0
+	tag1
+	tag2
+)
+
+// node is one open formula of the derivation tree.
+type node struct {
+	atom term.Atom
+	tag  nodeTag
+	// obligations are indices into search.obls: every expansion requires
+	// an identification somewhere in its subtree (the paper's
+	// productivity cut), and these are the obligations this node's
+	// subtree can still satisfy.
+	obligations []int
+	// depth counts rule expansions on the path to this node.
+	depth int
+	// untyped counts undisciplined recursive rule applications on the
+	// path (the §5.3 bounded mode).
+	untyped int
+}
+
+// search carries the backtracking state of one describe evaluation.
+type search struct {
+	d        *Describer
+	alg2     bool
+	graph    *depgraph.Graph
+	byHead   map[string][]term.Rule
+	subject     term.Atom
+	hypOrd      []indexedAtom
+	hypCmp      []indexedAtom
+	userVars    map[term.Term]bool
+	subjectVars map[term.Term]bool
+	hypVars     map[term.Term]bool
+
+	rn term.Renamer
+
+	// Path state (saved/restored around choices).
+	leaves    term.Formula
+	treeAtoms []term.Atom
+	viaRules  []term.Rule
+	obls      []bool
+	usedHyp   map[int]bool
+
+	answers       []Answer
+	seen          map[string]bool
+	discarded     int
+	anyProductive bool
+	truncated     bool
+	nodes         int
+}
+
+// run explores the root choices: identification of the subject with
+// hypothesis conjuncts, and expansion by each rule of the subject's
+// predicate. Root rules that never complete productively contribute
+// their one-level answer — but only when no productive answer exists at
+// all, which reproduces the paper's displayed outputs (Examples 4–6) and
+// its §6 remark that a hypothesis that cannot participate leaves the
+// answer identical to the hypothesis-free one.
+func (s *search) run() error {
+	s.treeAtoms = append(s.treeAtoms, s.subject)
+
+	// Root identification (Example 6's first answer).
+	for _, h := range s.hypOrd {
+		sigma, ok := term.Unify(s.subject, h.atom, nil)
+		if !ok {
+			continue
+		}
+		if s.alg2 && !s.typedOK(nil, sigma) {
+			continue
+		}
+		s.usedHyp[h.idx] = true
+		s.anyProductive = true
+		if err := s.emit(sigma); err != nil {
+			return err
+		}
+		delete(s.usedHyp, h.idx)
+	}
+
+	// Root rule expansions.
+	type pending struct {
+		rule  term.Rule
+		sigma term.Subst
+		body  term.Formula
+	}
+	var unproductive []pending
+	for _, r := range s.byHead[s.subject.Pred] {
+		fresh := s.rn.RenameRule(r)
+		sigma, ok := term.Unify(s.subject, fresh.Head, nil)
+		if !ok {
+			continue
+		}
+		before := len(s.answers)
+		beforeDiscarded := s.discarded
+		agenda := s.childNodes(fresh.Body, r, node{})
+		s.viaRules = append(s.viaRules, r)
+		s.treeAtoms = append(s.treeAtoms, fresh.Body...)
+		oblID := len(s.obls)
+		s.obls = append(s.obls, false)
+		for i := range agenda {
+			agenda[i].obligations = []int{oblID}
+		}
+		if err := s.step(agenda, sigma); err != nil {
+			return err
+		}
+		s.obls = s.obls[:oblID]
+		s.treeAtoms = s.treeAtoms[:len(s.treeAtoms)-len(fresh.Body)]
+		s.viaRules = s.viaRules[:len(s.viaRules)-1]
+		if len(s.answers) == before && s.discarded == beforeDiscarded {
+			unproductive = append(unproductive, pending{rule: r, sigma: sigma, body: fresh.Body})
+		} else {
+			// A completion existed — even one discarded for contradicting
+			// the hypothesis counts as productive (§4's special answer).
+			s.anyProductive = true
+		}
+	}
+
+	// One-level answers for unproductive rules, when nothing was
+	// productive anywhere (§4's exception; Example 4).
+	if !s.anyProductive {
+		for _, p := range unproductive {
+			s.leaves = append(s.leaves, p.body...)
+			s.viaRules = append(s.viaRules, p.rule)
+			if err := s.emit(p.sigma); err != nil {
+				return err
+			}
+			s.viaRules = s.viaRules[:len(s.viaRules)-1]
+			s.leaves = s.leaves[:len(s.leaves)-len(p.body)]
+		}
+	}
+	return nil
+}
+
+// step processes the agenda depth-first (leftmost open formula first).
+func (s *search) step(agenda []node, sigma term.Subst) error {
+	if s.truncated {
+		return nil
+	}
+	s.nodes++
+	if s.nodes > s.d.opts.MaxNodes || len(s.answers) >= s.d.opts.MaxAnswers {
+		s.truncated = true
+		return nil
+	}
+	if len(agenda) == 0 {
+		for _, ok := range s.obls {
+			if !ok {
+				return nil // an expansion without an identification: cut
+			}
+		}
+		return s.emit(sigma)
+	}
+	q := agenda[0]
+	rest := agenda[1:]
+
+	// Comparison formulas are never identified and never expanded (§4):
+	// they drop to the leaves and meet the hypothesis in the post-pass.
+	if term.IsComparison(q.atom) {
+		s.leaves = append(s.leaves, q.atom)
+		err := s.step(rest, sigma)
+		s.leaves = s.leaves[:len(s.leaves)-1]
+		return err
+	}
+
+	// Choice 1: identify with a hypothesis conjunct. Away from the root,
+	// an identification that would constrain the user's variables (bind
+	// two of them together, or bind one to a constant) is skipped: such
+	// bindings narrow the answer's head and belong only to root
+	// identifications (Example 6's `X = databases`). This choice of
+	// interpretation reproduces the paper's displayed outputs.
+	identified := false
+	for _, h := range s.hypOrd {
+		ext, ok := term.Unify(q.atom, h.atom, sigma)
+		if !ok {
+			continue
+		}
+		if s.constrainsUserVars(sigma, ext) {
+			continue
+		}
+		if s.alg2 && !s.typedOK(sigma, ext) {
+			continue
+		}
+		identified = true
+		sat := s.satisfy(q.obligations)
+		wasUsed := s.usedHyp[h.idx]
+		s.usedHyp[h.idx] = true
+		if err := s.step(rest, ext); err != nil {
+			return err
+		}
+		if !wasUsed {
+			delete(s.usedHyp, h.idx)
+		}
+		s.unsatisfy(sat)
+	}
+
+	// Choice 2: expand with each admissible rule. The expansion carries a
+	// new obligation: its subtree must identify something, or the branch
+	// is cut (the paper's "subtrees without hypothesis leaves are cut off
+	// below their subtree roots"). With no identification targets at all,
+	// no expansion can ever be productive — skip the choice entirely,
+	// which also keeps hypothesis-free describes of recursive subjects
+	// linear over the original rules.
+	if q.depth < s.d.opts.MaxDepth && len(s.hypOrd) > 0 {
+		for _, r := range s.byHead[q.atom.Pred] {
+			if !s.ruleAllowed(q, r) {
+				continue
+			}
+			fresh := s.rn.RenameRule(r)
+			ext, ok := term.Unify(sigma.Apply(q.atom), fresh.Head, sigma)
+			if !ok {
+				continue
+			}
+			children := s.childNodes(fresh.Body, r, q)
+			oblID := len(s.obls)
+			s.obls = append(s.obls, false)
+			inherited := append(append([]int{}, q.obligations...), oblID)
+			for i := range children {
+				children[i].obligations = inherited
+			}
+			s.treeAtoms = append(s.treeAtoms, fresh.Body...)
+			s.viaRules = append(s.viaRules, r)
+			next := append(children, rest...)
+			if err := s.step(next, ext); err != nil {
+				return err
+			}
+			s.viaRules = s.viaRules[:len(s.viaRules)-1]
+			s.treeAtoms = s.treeAtoms[:len(s.treeAtoms)-len(fresh.Body)]
+			s.obls = s.obls[:oblID]
+		}
+	}
+
+	// Choice 3: remain a leaf — only when no identification was possible,
+	// which keeps answers at the paper's displayed generality (a formula
+	// that can meet the hypothesis must meet it).
+	if !identified {
+		s.leaves = append(s.leaves, q.atom)
+		err := s.step(rest, sigma)
+		s.leaves = s.leaves[:len(s.leaves)-1]
+		return err
+	}
+	return nil
+}
+
+func containsVar(vs []term.Term, v term.Term) bool {
+	for _, u := range vs {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// constrainsUserVars reports whether ext narrows the user's variables
+// relative to sigma: a user variable newly bound to a constant, or two
+// user variables newly unified. Unifying a subject-only variable with a
+// hypothesis-only variable is NOT constraining — that is the natural
+// reading when the query spells the subject and the hypothesis with
+// different names (and what the wildcard extension relies on).
+func (s *search) constrainsUserVars(sigma, ext term.Subst) bool {
+	vars := make([]term.Term, 0, len(s.userVars))
+	for v := range s.userVars {
+		vars = append(vars, v)
+	}
+	crossGroup := func(v, w term.Term) bool {
+		subjOnlyV := s.subjectVars[v] && !s.hypVars[v]
+		hypOnlyV := s.hypVars[v] && !s.subjectVars[v]
+		subjOnlyW := s.subjectVars[w] && !s.hypVars[w]
+		hypOnlyW := s.hypVars[w] && !s.subjectVars[w]
+		return subjOnlyV && hypOnlyW || hypOnlyV && subjOnlyW
+	}
+	for i, v := range vars {
+		if ext.Walk(v).IsConst() && !sigma.Walk(v).IsConst() {
+			return true
+		}
+		for j := 0; j < i; j++ {
+			w := vars[j]
+			if ext.Walk(v) == ext.Walk(w) && sigma.Walk(v) != sigma.Walk(w) && !crossGroup(v, w) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// childNodes builds agenda nodes for a rule's body, assigning Algorithm 2
+// tags according to the rule kind (§5.3, Figure 3 boxes 9a–9e).
+func (s *search) childNodes(body term.Formula, r term.Rule, parent node) []node {
+	kind := transform.KindOrdinary
+	untyped := parent.untyped
+	if s.alg2 {
+		kind = s.d.trans.Kind(r)
+		if s.d.trans.IsUntypedRule(r) && s.graph.IsRecursiveRule(r) {
+			untyped++
+		}
+	}
+	children := make([]node, len(body))
+	for i, a := range body {
+		children[i] = node{atom: a, depth: parent.depth + 1, untyped: untyped}
+	}
+	switch kind {
+	case transform.KindRT:
+		// The step-atom child gets tag 2, the predicate child tag 0.
+		for i, a := range body {
+			if _, isStep := s.d.trans.IsStepPred(a.Pred); isStep {
+				children[i].tag = tag2
+			} else {
+				children[i].tag = tag0
+			}
+		}
+	case transform.KindRC:
+		switch parent.tag {
+		case tag1:
+			for i := range children {
+				children[i].tag = tag0
+			}
+		default: // tag2 or an untagged step goal
+			children[0].tag = tag1
+			for i := 1; i < len(children); i++ {
+				children[i].tag = tag0
+			}
+		}
+	}
+	return children
+}
+
+// ruleAllowed enforces the tag discipline and the untyped bound.
+func (s *search) ruleAllowed(q node, r term.Rule) bool {
+	if !s.alg2 {
+		return true
+	}
+	switch s.d.trans.Kind(r) {
+	case transform.KindRT, transform.KindRC:
+		return q.tag != tag0
+	}
+	if s.d.trans.IsUntypedRule(r) && s.graph.IsRecursiveRule(r) {
+		return q.untyped < s.d.opts.UntypedBound
+	}
+	return true
+}
+
+// typedOK implements Algorithm 2's substitution guard: the candidate
+// substitution ext is disqualified when it would cause two occurrences of
+// a (transformed) recursive predicate somewhere in the tree or hypothesis
+// to hold the same variable at different positions (§5.3; sufficient
+// condition of footnote 4). A predicate that already exhibits swapped
+// positions under the current substitution sigma — because an ordinary
+// rule like `roundtrip(X, Y) ← reachable(X, Y) ∧ reachable(Y, X)` is
+// legitimately untyped with respect to it — is exempt: the guard only
+// rejects conflicts the new substitution introduces.
+func (s *search) typedOK(sigma, ext term.Subst) bool {
+	before := s.conflictedPreds(sigma)
+	for pred := range s.conflictedPreds(ext) {
+		if !before[pred] {
+			return false
+		}
+	}
+	return true
+}
+
+// conflictedPreds returns the recursive predicates for which some
+// variable occupies two distinct argument positions across the tree and
+// hypothesis atoms, under the given substitution.
+func (s *search) conflictedPreds(sub term.Subst) map[string]bool {
+	out := make(map[string]bool)
+	positions := make(map[string]map[term.Term]int)
+	check := func(a term.Atom) {
+		if !s.d.recPreds[a.Pred] || out[a.Pred] {
+			return
+		}
+		pos := positions[a.Pred]
+		if pos == nil {
+			pos = make(map[term.Term]int)
+			positions[a.Pred] = pos
+		}
+		b := sub.Apply(a)
+		for i, t := range b.Args {
+			if !t.IsVar() {
+				continue
+			}
+			if prev, ok := pos[t]; ok && prev != i {
+				out[a.Pred] = true
+				return
+			}
+			pos[t] = i
+		}
+	}
+	for _, a := range s.treeAtoms {
+		check(a)
+	}
+	for _, h := range s.hypOrd {
+		check(h.atom)
+	}
+	return out
+}
+
+// satisfy marks obligations satisfied, returning the ones newly set so
+// the caller can restore them.
+func (s *search) satisfy(ids []int) []int {
+	var newly []int
+	for _, id := range ids {
+		if !s.obls[id] {
+			s.obls[id] = true
+			newly = append(newly, id)
+		}
+	}
+	return newly
+}
+
+func (s *search) unsatisfy(ids []int) {
+	for _, id := range ids {
+		s.obls[id] = false
+	}
+}
+
+// emit assembles one answer from the current path state, applies the §4
+// comparison post-pass, and records it (deduplicated).
+func (s *search) emit(sigma term.Subst) error {
+	body := sigma.ApplyFormula(s.leaves)
+
+	// User-variable bindings: rename fresh images back to the user's
+	// variable where possible, otherwise surface the binding as an
+	// equality atom (Example 6's `X = databases`). Hypothesis variables
+	// are treated like subject variables — a binding imposed on them is
+	// part of the answer's meaning. Subject variables take rename
+	// priority.
+	var equalities term.Formula
+	rename := term.NewSubst(2)
+	userOrder := s.subject.Vars(nil)
+	var hypVars []term.Term
+	for _, h := range s.hypOrd {
+		hypVars = h.atom.Vars(hypVars)
+	}
+	for _, h := range s.hypCmp {
+		hypVars = h.atom.Vars(hypVars)
+	}
+	for _, v := range hypVars {
+		if !containsVar(userOrder, v) {
+			userOrder = append(userOrder, v)
+		}
+	}
+	for _, v := range userOrder {
+		t := sigma.Walk(v)
+		if t == v {
+			continue
+		}
+		if t.IsVar() && !s.userVars[t] {
+			if prev, ok := rename[t]; ok {
+				// Two user variables share an image: keep one rename,
+				// surface the other as an equality.
+				equalities = append(equalities, term.NewAtom(term.PredEq, v, prev))
+			} else {
+				rename[t] = v
+			}
+			continue
+		}
+		equalities = append(equalities, term.NewAtom(term.PredEq, v, t))
+	}
+	if len(rename) > 0 {
+		body = rename.ApplyFormula(body)
+	}
+	full := append(equalities, body...)
+
+	// §4 comparison post-pass. α is the hypothesis's comparison part under
+	// the answer's substitution (and the rename).
+	alpha := make(term.Formula, 0, len(s.hypCmp))
+	for _, c := range s.hypCmp {
+		alpha = append(alpha, rename.Apply(sigma.Apply(c.atom)))
+	}
+	kept := make(term.Formula, 0, len(full))
+	var removed term.Formula
+	for _, a := range full {
+		if !term.IsComparison(a) {
+			kept = append(kept, a)
+			continue
+		}
+		implied, err := builtin.Implies(alpha, term.Formula{a})
+		if err != nil {
+			return err
+		}
+		if implied {
+			removed = append(removed, a)
+			continue
+		}
+		kept = append(kept, a)
+	}
+	// Discard the answer when the hypothesis contradicts its comparisons.
+	var bodyCmp term.Formula
+	for _, a := range kept {
+		if term.IsComparison(a) {
+			bodyCmp = append(bodyCmp, a)
+		}
+	}
+	if len(alpha) > 0 && len(bodyCmp) > 0 {
+		contra, err := builtin.Contradicts(alpha, bodyCmp)
+		if err != nil {
+			return err
+		}
+		if contra {
+			s.discarded++
+			return nil
+		}
+	}
+
+	used := make([]int, 0, len(s.usedHyp))
+	for idx := range s.usedHyp {
+		used = append(used, idx)
+	}
+	// Comparison hypothesis conjuncts count as used when their removal
+	// would lose a β-elimination.
+	for _, c := range s.hypCmp {
+		needed := false
+		for _, beta := range removed {
+			reduced := make(term.Formula, 0, len(alpha)-1)
+			for _, other := range s.hypCmp {
+				if other.idx == c.idx {
+					continue
+				}
+				reduced = append(reduced, rename.Apply(sigma.Apply(other.atom)))
+			}
+			still, err := builtin.Implies(reduced, term.Formula{beta})
+			if err != nil {
+				return err
+			}
+			if !still {
+				needed = true
+				break
+			}
+		}
+		if needed {
+			used = append(used, c.idx)
+		}
+	}
+
+	// Prefer the original predicate over the artificial step predicate
+	// when the modified transformation applies (§5.3).
+	if s.alg2 && !s.d.opts.KeepSteps {
+		for i, a := range kept {
+			if rewritten, ok := s.d.trans.RewriteStepAtom(a); ok {
+				kept[i] = rewritten
+			}
+		}
+	}
+
+	ans := Answer{
+		Head:           term.NewAtom(s.subject.Pred, s.subject.Args...),
+		Body:           kept,
+		UsedHypothesis: used,
+		ViaRules:       append([]term.Rule(nil), s.viaRules...),
+	}
+	ans.prettify(s.userVars)
+	key := ans.key(s.userVars)
+	if s.seen[key] {
+		return nil
+	}
+	s.seen[key] = true
+	s.answers = append(s.answers, ans)
+	return nil
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"kdb/internal/term"
+)
+
+// DescribeOr evaluates a describe query with a disjunctive hypothesis
+// ψ1 ∨ … ∨ ψn — the first of the research directions Section 6 lists
+// ("we are interested in generalizing this formula to allow
+// disjunctions"). A formula `p ← φ` is an answer exactly when it is a
+// knowledge answer under every disjunct: (ψ1 ∨ ψ2) ⊢ (p ← φ) iff
+// ψ1 ⊢ (p ← φ) and ψ2 ⊢ (p ← φ).
+//
+// Disjuncts whose hypothesis contradicts the knowledge base are skipped
+// (⊥ ∨ ψ ≡ ψ); if every disjunct contradicts, the special contradiction
+// answer is returned.
+func (d *Describer) DescribeOr(subject term.Atom, disjuncts []term.Formula) (*Answers, error) {
+	if len(disjuncts) == 0 {
+		return d.Describe(subject, nil)
+	}
+	if len(disjuncts) == 1 {
+		return d.Describe(subject, disjuncts[0])
+	}
+	if err := validateDisjuncts(disjuncts); err != nil {
+		return nil, err
+	}
+	userVars := make(map[term.Term]bool)
+	for _, v := range subject.Vars(nil) {
+		userVars[v] = true
+	}
+	var full term.Formula
+	for _, dis := range disjuncts {
+		for _, v := range dis.Vars() {
+			userVars[v] = true
+		}
+		full = append(full, dis...)
+	}
+
+	// Evaluate each disjunct independently.
+	perDisjunct := make([][]Answer, 0, len(disjuncts))
+	contradictions := 0
+	truncated := false
+	for _, dis := range disjuncts {
+		ans, err := d.Describe(subject, dis)
+		if err != nil {
+			return nil, err
+		}
+		truncated = truncated || ans.Truncated
+		if ans.Contradiction {
+			contradictions++
+			continue // an impossible disjunct never weakens the others
+		}
+		perDisjunct = append(perDisjunct, ans.Formulas)
+	}
+	out := &Answers{Subject: subject, Hypothesis: full, Truncated: truncated}
+	if contradictions == len(disjuncts) {
+		out.Contradiction = true
+		return out, nil
+	}
+
+	// A candidate (from any disjunct) is an answer when it is valid under
+	// every disjunct. Validity under disjunct j holds when one of j's own
+	// answers θ-subsumes the candidate: a more general valid rule implies
+	// every specialization. (Emitted sets alone would be too syntactic:
+	// under a strong hypothesis only the strongest formula is emitted,
+	// yet all its weakenings remain valid.)
+	var kept []Answer
+	seen := make(map[string]bool)
+	for i, answers := range perDisjunct {
+		for _, a := range answers {
+			key := a.key(userVars)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			valid := true
+			for j, others := range perDisjunct {
+				if i == j {
+					continue
+				}
+				covered := false
+				for _, b := range others {
+					if subsumes(b, a, userVars) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					valid = false
+					break
+				}
+			}
+			if valid {
+				// Per-disjunct hypothesis-usage indices would be
+				// meaningless after the merge.
+				a.UsedHypothesis = nil
+				kept = append(kept, a)
+			}
+		}
+	}
+	out.Formulas = eliminateRedundant(kept, userVars)
+	return out, nil
+}
+
+// validateDisjuncts rejects qualifier shapes the disjunctive forms do not
+// support.
+func validateDisjuncts(disjuncts []term.Formula) error {
+	for _, d := range disjuncts {
+		if len(d) == 0 {
+			return fmt.Errorf("core: an empty disjunct makes the qualifier trivially true")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"kdb/internal/builtin"
+	"kdb/internal/term"
+)
+
+// eliminateRedundant removes answers that are logical consequences of
+// other answers (the paper's redundancy-free requirement, §3.2). The test
+// is θ-subsumption strengthened with comparison implication: answer a
+// makes answer b redundant when a substitution θ that fixes the head
+// variables maps every ordinary atom of a's body onto an atom of b's
+// body, and b's comparisons imply θ of a's comparisons. Then b's rule is
+// a logical consequence of a's and b adds nothing.
+func eliminateRedundant(answers []Answer, userVars map[term.Term]bool) []Answer {
+	if len(answers) <= 1 {
+		return answers
+	}
+	redundant := make([]bool, len(answers))
+	for i := range answers {
+		if redundant[i] {
+			continue
+		}
+		for j := range answers {
+			if i == j || redundant[j] {
+				continue
+			}
+			if subsumes(answers[i], answers[j], userVars) {
+				// Keep the earlier answer on mutual subsumption.
+				if j > i || !subsumes(answers[j], answers[i], userVars) {
+					redundant[j] = true
+				}
+			}
+		}
+	}
+	out := make([]Answer, 0, len(answers))
+	for i, a := range answers {
+		if !redundant[i] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// subsumes reports whether answer a θ-subsumes answer b: a's body, under
+// some substitution fixing the user's variables (both answers implicitly
+// carry the same head and hypothesis, whose variables denote the same
+// objects), is covered by b's body — ordinary atoms by matching,
+// comparisons by implication. The pattern side is renamed apart first:
+// the two answers typically share non-user variable names, and
+// θ-subsumption may bind only the pattern's own variables.
+func subsumes(a, b Answer, userVars map[term.Term]bool) bool {
+	if !a.Head.Equal(b.Head) {
+		return false
+	}
+	fixed := make(map[term.Term]bool, len(userVars)+2)
+	for v := range userVars {
+		fixed[v] = true
+	}
+	for _, v := range a.Head.Vars(nil) {
+		fixed[v] = true
+	}
+	aCmp, aOrd := builtin.Split(renameApart(a.Body, fixed))
+	bCmp, bOrd := builtin.Split(b.Body)
+	// Enumerate matchers of a's ordinary atoms into b's.
+	return matchAtoms(aOrd, bOrd, fixed, nil, func(theta term.Subst) bool {
+		implied, err := builtin.Implies(bCmp, theta.ApplyFormula(aCmp))
+		return err == nil && implied
+	})
+}
+
+// renameApart replaces every non-fixed variable of the formula with a
+// fresh variable whose name cannot occur in user programs, so pattern and
+// target of a matching problem never share variables.
+func renameApart(f term.Formula, fixed map[term.Term]bool) term.Formula {
+	sub := term.NewSubst(4)
+	n := 0
+	for _, v := range f.Vars() {
+		if !fixed[v] {
+			n++
+			sub[v] = term.Var(fmt.Sprintf("\x01R%d", n))
+		}
+	}
+	return sub.ApplyFormula(f)
+}
+
+// matchAtoms enumerates substitutions θ (extending base, fixing the
+// variables in fixed) with θ(pattern[i]) ∈ targets for every i, calling
+// ok for each; it returns true as soon as ok does.
+func matchAtoms(pattern, targets term.Formula, fixed map[term.Term]bool, base term.Subst, ok func(term.Subst) bool) bool {
+	if len(pattern) == 0 {
+		return ok(base)
+	}
+	p := pattern[0]
+	for _, t := range targets {
+		theta, matched := matchFixed(p, t, fixed, base)
+		if !matched {
+			continue
+		}
+		if matchAtoms(pattern[1:], targets, fixed, theta, ok) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchFixed is one-way matching where variables in fixed may only map to
+// themselves.
+func matchFixed(pattern, target term.Atom, fixed map[term.Term]bool, base term.Subst) (term.Subst, bool) {
+	if pattern.Pred != target.Pred || len(pattern.Args) != len(target.Args) {
+		return nil, false
+	}
+	s := base.Clone()
+	if s == nil {
+		s = term.NewSubst(len(pattern.Args))
+	}
+	for i := range pattern.Args {
+		p := s.Walk(pattern.Args[i])
+		g := target.Args[i]
+		switch {
+		case p == g:
+		case p.IsVar() && !fixed[p]:
+			s.Bind(p, g)
+		default:
+			return nil, false
+		}
+	}
+	return s, true
+}

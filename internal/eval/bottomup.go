@@ -1,0 +1,351 @@
+package eval
+
+import (
+	"fmt"
+
+	"kdb/internal/storage"
+	"kdb/internal/term"
+)
+
+// derived holds the materialized extensions of IDB predicates during a
+// bottom-up evaluation.
+type derived map[string]*storage.Relation
+
+func (d derived) relation(pred string, arity int) *storage.Relation {
+	r, ok := d[pred]
+	if !ok {
+		r = storage.NewRelation(arity)
+		d[pred] = r
+	}
+	return r
+}
+
+func (d derived) insert(a term.Atom) (bool, error) {
+	return d.relation(a.Pred, len(a.Args)).Insert(storage.Tuple(a.Args))
+}
+
+// match resolves an atom against a derived relation.
+func (d derived) match(a term.Atom, base term.Subst, fn func(term.Subst) bool) error {
+	r, ok := d[a.Pred]
+	if !ok {
+		return nil
+	}
+	if r.Arity() != len(a.Args) {
+		return fmt.Errorf("eval: %s used with arity %d, derived with %d", a.Pred, len(a.Args), r.Arity())
+	}
+	pattern := base.Apply(a)
+	return r.Select(pattern.Args, func(t storage.Tuple) bool {
+		ext, ok := term.Match(pattern, term.Atom{Pred: a.Pred, Args: t}, base)
+		if !ok {
+			return true
+		}
+		return fn(ext)
+	})
+}
+
+// bottomUp is the shared driver for the naive and semi-naive engines.
+type bottomUp struct {
+	in       Input
+	seminaive bool
+}
+
+// NewNaive returns the naive bottom-up engine: it recomputes every rule
+// against the full extensions until no new fact appears. It is the
+// correctness baseline the optimized engines are tested against.
+func NewNaive(in Input) Engine { return &bottomUp{in: in} }
+
+// NewSemiNaive returns the semi-naive bottom-up engine: within each
+// recursive SCC, rules are differentiated on their recursive body atoms
+// so each iteration only joins against the facts new in the previous
+// iteration.
+func NewSemiNaive(in Input) Engine { return &bottomUp{in: in, seminaive: true} }
+
+// Name identifies the engine.
+func (e *bottomUp) Name() string {
+	if e.seminaive {
+		return "seminaive"
+	}
+	return "naive"
+}
+
+// Retrieve evaluates the query bottom-up.
+func (e *bottomUp) Retrieve(q Query) (*Result, error) {
+	p, err := buildPlan(e.in, q)
+	if err != nil {
+		return nil, err
+	}
+	d := derived{}
+	relevant := p.relevantPreds()
+	// Evaluate components in dependency order, skipping irrelevant ones.
+	for _, comp := range p.graph.SCCOrder() {
+		needed := false
+		hasRules := false
+		for _, pred := range comp {
+			if relevant[pred] {
+				needed = true
+			}
+			if len(p.graph.RulesFor(pred)) > 0 {
+				hasRules = true
+			}
+		}
+		if !needed || !hasRules {
+			continue
+		}
+		if err := e.evalComponent(p, d, comp); err != nil {
+			return nil, err
+		}
+	}
+	return e.collect(p, d), nil
+}
+
+// evalComponent computes the fixpoint of one SCC's rules.
+func (e *bottomUp) evalComponent(p *plan, d derived, comp []string) error {
+	inComp := make(map[string]bool, len(comp))
+	for _, pred := range comp {
+		inComp[pred] = true
+	}
+	var rules []term.Rule
+	for _, pred := range comp {
+		rules = append(rules, p.graph.RulesFor(pred)...)
+	}
+	recursive := false
+	for _, r := range rules {
+		for _, a := range r.Body {
+			if inComp[a.Pred] {
+				recursive = true
+			}
+		}
+	}
+
+	// full lookup: derived facts first, then stored facts. A predicate may
+	// have both (the kb layer turns stored facts of rule-defined predicates
+	// into bodiless rules, but eval stays robust either way); insert-time
+	// deduplication makes the overlap harmless.
+	full := func(a term.Atom, base term.Subst, fn func(term.Subst) bool) error {
+		stopped := false
+		if _, isDerived := d[a.Pred]; isDerived {
+			if err := d.match(a, base, func(s term.Subst) bool {
+				if !fn(s) {
+					stopped = true
+					return false
+				}
+				return true
+			}); err != nil {
+				return err
+			}
+			if stopped {
+				return nil
+			}
+		}
+		return e.in.Store.Match(a, base, fn)
+	}
+
+	// First round: apply every rule once against the current state.
+	delta := derived{}
+	if err := applyRules(rules, full, func(fact term.Atom) error {
+		fresh, err := d.insert(fact)
+		if err != nil {
+			return err
+		}
+		if fresh {
+			if _, err := delta.insert(fact); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if !recursive {
+		return nil
+	}
+
+	// Iterate to fixpoint.
+	for {
+		if e.seminaive {
+			empty := true
+			for _, r := range delta {
+				if r.Len() > 0 {
+					empty = false
+				}
+			}
+			if empty {
+				return nil
+			}
+		}
+		nextDelta := derived{}
+		grew := false
+		sink := func(fact term.Atom) error {
+			fresh, err := d.insert(fact)
+			if err != nil {
+				return err
+			}
+			if fresh {
+				grew = true
+				if _, err := nextDelta.insert(fact); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var err error
+		if e.seminaive {
+			err = applyRulesSemiNaive(rules, inComp, full, delta, sink)
+		} else {
+			err = applyRules(rules, full, sink)
+		}
+		if err != nil {
+			return err
+		}
+		if !grew {
+			return nil
+		}
+		delta = nextDelta
+	}
+}
+
+// applyRules derives the immediate consequences of the rules under the
+// lookup and feeds each derived ground head to sink.
+func applyRules(rules []term.Rule, lk lookup, sink func(term.Atom) error) error {
+	for _, r := range rules {
+		var derr error
+		_, err := solveBody(r.Body, nil, lk, func(s term.Subst) bool {
+			head := s.Apply(r.Head)
+			if !head.IsGround() {
+				derr = fmt.Errorf("eval: derived non-ground fact %v from %v", head, r)
+				return false
+			}
+			if err := sink(head); err != nil {
+				derr = err
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if derr != nil {
+			return derr
+		}
+	}
+	return nil
+}
+
+// applyRulesSemiNaive derives consequences where at least one recursive
+// body atom is resolved against the delta of the previous iteration. For
+// a rule with k recursive occurrences it evaluates k differentiated
+// variants, pinning occurrence i to the delta.
+func applyRulesSemiNaive(rules []term.Rule, inComp map[string]bool, full lookup, delta derived, sink func(term.Atom) error) error {
+	for _, r := range rules {
+		var recIdx []int
+		for i, a := range r.Body {
+			if inComp[a.Pred] {
+				recIdx = append(recIdx, i)
+			}
+		}
+		if len(recIdx) == 0 {
+			continue // non-recursive rules contribute nothing new after round one
+		}
+		for _, pin := range recIdx {
+			pinned := pin
+			var derr error
+			_, err := solveBodyPinned(r.Body, pinned, full, delta, nil, func(s term.Subst) bool {
+				head := s.Apply(r.Head)
+				if !head.IsGround() {
+					derr = fmt.Errorf("eval: derived non-ground fact %v from %v", head, r)
+					return false
+				}
+				if err := sink(head); err != nil {
+					derr = err
+					return false
+				}
+				return true
+			})
+			if err != nil {
+				return err
+			}
+			if derr != nil {
+				return derr
+			}
+		}
+	}
+	return nil
+}
+
+// solveBodyPinned is solveBody with one body occurrence (by original
+// index) resolved against the delta relations instead of the full ones.
+func solveBodyPinned(body []term.Atom, pin int, full lookup, delta derived, base term.Subst, fn func(term.Subst) bool) (bool, error) {
+	type tagged struct {
+		atom   term.Atom
+		pinned bool
+	}
+	items := make([]tagged, len(body))
+	for i, a := range body {
+		items[i] = tagged{atom: a, pinned: i == pin}
+	}
+	var solve func(remaining []tagged, s term.Subst) (bool, error)
+	solve = func(remaining []tagged, s term.Subst) (bool, error) {
+		if len(remaining) == 0 {
+			return fn(s), nil
+		}
+		atoms := make([]term.Atom, len(remaining))
+		for i, it := range remaining {
+			atoms[i] = it.atom
+		}
+		idx, err := chooseAtom(atoms, s)
+		if err != nil {
+			return false, err
+		}
+		it := remaining[idx]
+		rest := make([]tagged, 0, len(remaining)-1)
+		rest = append(rest, remaining[:idx]...)
+		rest = append(rest, remaining[idx+1:]...)
+		if term.IsComparison(it.atom) {
+			// Delegate comparison handling to solveBody over a singleton,
+			// then continue with rest.
+			cont := true
+			_, err := solveBody([]term.Atom{it.atom}, s, full, func(ext term.Subst) bool {
+				c, err2 := solve(rest, ext)
+				if err2 != nil {
+					err = err2
+					return false
+				}
+				cont = c
+				return c
+			})
+			return cont, err
+		}
+		lk := full
+		if it.pinned {
+			lk = func(a term.Atom, b term.Subst, f func(term.Subst) bool) error {
+				return delta.match(a, b, f)
+			}
+		}
+		cont := true
+		err = lk(it.atom, s, func(ext term.Subst) bool {
+			c, err2 := solve(rest, ext)
+			if err2 != nil {
+				err = err2
+				return false
+			}
+			cont = c
+			return c
+		})
+		return cont, err
+	}
+	return solve(items, base)
+}
+
+// collect extracts the result tuples from the derived query relation.
+func (e *bottomUp) collect(p *plan, d derived) *Result {
+	res := &Result{Vars: p.vars}
+	r, ok := d[queryPredName]
+	if !ok {
+		return res
+	}
+	r.Scan(func(t storage.Tuple) bool {
+		res.Tuples = append(res.Tuples, t.Clone())
+		return true
+	})
+	return res
+}

@@ -1,0 +1,284 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kdb/internal/term"
+)
+
+// The magic-sets engine: a goal-directed bottom-up evaluator. The query
+// is rewritten with adorned predicates and magic filters so the
+// semi-naive fixpoint only derives facts relevant to the query's bound
+// arguments — bottom-up evaluation with top-down relevance, the standard
+// optimization for bound goals over recursive programs.
+//
+// The rewrite is the textbook generalized magic sets for definite Datalog
+// with comparisons:
+//
+//   - every IDB predicate reached from the query gets adorned variants
+//     p#bf… (one per binding pattern);
+//   - each adorned rule is guarded by a magic predicate m$p#… holding the
+//     bound-argument tuples the query actually asks about;
+//   - supplementary magic rules seed callee magic sets from the caller's
+//     partial joins, following a left-to-right sideways information
+//     passing order (comparisons are placed as soon as their variables
+//     are bound).
+//
+// The rewritten program is evaluated by the semi-naive engine; magic seed
+// facts ride along as bodiless ground rules so the user's store is never
+// touched.
+
+// magic is the Engine implementation.
+type magic struct {
+	in Input
+}
+
+// NewMagic returns the magic-sets engine.
+func NewMagic(in Input) Engine { return &magic{in: in} }
+
+// Name identifies the engine.
+func (e *magic) Name() string { return "magic" }
+
+// Retrieve rewrites the query and evaluates it bottom-up.
+func (e *magic) Retrieve(q Query) (*Result, error) {
+	p, err := buildPlan(e.in, q)
+	if err != nil {
+		return nil, err
+	}
+	rewritten, queryPred, err := magicRewrite(p)
+	if err != nil {
+		return nil, err
+	}
+	inner := Input{Store: e.in.Store, Rules: rewritten}
+	res, err := NewSemiNaive(inner).Retrieve(Query{
+		Subject: term.NewAtom(queryPred, p.vars...),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Vars = p.vars
+	return res, nil
+}
+
+// adornment is a binding pattern: 'b' for bound, 'f' for free, one byte
+// per argument position.
+type adornment string
+
+func adornedName(pred string, a adornment) string {
+	if len(a) == 0 {
+		return pred + "#"
+	}
+	return pred + "#" + string(a)
+}
+
+func magicName(pred string, a adornment) string {
+	return "m$" + adornedName(pred, a)
+}
+
+// magicRewrite produces the adorned + magic program for the plan's query
+// rule, and the name of the adorned query predicate.
+func magicRewrite(p *plan) ([]term.Rule, string, error) {
+	idb := make(map[string]bool)
+	for _, r := range p.rules {
+		idb[r.Head.Pred] = true
+	}
+
+	type job struct {
+		pred string
+		a    adornment
+	}
+	var out []term.Rule
+	seen := map[string]bool{}
+	var queue []job
+
+	// The query rule's head has no bound arguments (its constants, if
+	// any, live in the body); its magic seed is the empty tuple.
+	queryAd := adornment(strings.Repeat("f", len(p.rule.Head.Args)))
+	queue = append(queue, job{queryPredName, queryAd})
+	seen[adornedName(queryPredName, queryAd)] = true
+	out = append(out, term.Rule{Head: term.NewAtom(magicName(queryPredName, queryAd))})
+
+	enqueue := func(pred string, a adornment) {
+		key := adornedName(pred, a)
+		if !seen[key] {
+			seen[key] = true
+			queue = append(queue, job{pred, a})
+		}
+	}
+
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		for _, r := range p.graph.RulesFor(j.pred) {
+			rules, err := adornRule(r, j.a, idb, enqueue)
+			if err != nil {
+				return nil, "", err
+			}
+			out = append(out, rules...)
+		}
+	}
+	return out, adornedName(queryPredName, queryAd), nil
+}
+
+// adornRule rewrites one rule for the head adornment: the guarded adorned
+// rule plus one supplementary magic rule per IDB body atom.
+func adornRule(r term.Rule, headAd adornment, idb map[string]bool, enqueue func(string, adornment)) ([]term.Rule, error) {
+	if len(headAd) != len(r.Head.Args) {
+		return nil, fmt.Errorf("eval: adornment %q does not fit %v", headAd, r.Head)
+	}
+	bound := make(map[term.Term]bool)
+	var magicArgs []term.Term
+	for i, c := range headAd {
+		arg := r.Head.Args[i]
+		if c == 'b' {
+			magicArgs = append(magicArgs, arg)
+			if arg.IsVar() {
+				bound[arg] = true
+			}
+		}
+	}
+	guard := term.NewAtom(magicName(r.Head.Pred, headAd), magicArgs...)
+
+	ordered := sipsOrder(r.Body, bound)
+
+	var out []term.Rule
+	newBody := term.Formula{guard}
+	for _, a := range ordered {
+		if term.IsComparison(a) {
+			newBody = append(newBody, a)
+			// Equality can bind a variable sideways.
+			if a.Pred == term.PredEq {
+				for _, t := range a.Args {
+					if t.IsVar() {
+						bound[t] = true
+					}
+				}
+			}
+			continue
+		}
+		if !idb[a.Pred] {
+			// Stored predicate: binds all its variables.
+			newBody = append(newBody, a)
+			for _, t := range a.Args {
+				if t.IsVar() {
+					bound[t] = true
+				}
+			}
+			continue
+		}
+		// IDB atom: adorn by the current bindings, emit its supplementary
+		// magic rule, and continue with the adorned call.
+		var ad []byte
+		var callBound []term.Term
+		for _, t := range a.Args {
+			if t.IsConst() || bound[t] {
+				ad = append(ad, 'b')
+				callBound = append(callBound, t)
+			} else {
+				ad = append(ad, 'f')
+			}
+		}
+		calleeAd := adornment(ad)
+		enqueue(a.Pred, calleeAd)
+		// Supplementary magic rule: m$callee(boundArgs) ← everything
+		// established so far (the guard and the earlier body atoms).
+		out = append(out, term.Rule{
+			Head: term.NewAtom(magicName(a.Pred, calleeAd), callBound...),
+			Body: newBody.Clone(),
+		})
+		newBody = append(newBody, term.Atom{Pred: adornedName(a.Pred, calleeAd), Args: a.Args})
+		for _, t := range a.Args {
+			if t.IsVar() {
+				bound[t] = true
+			}
+		}
+	}
+	out = append(out, term.Rule{
+		Head: term.Atom{Pred: adornedName(r.Head.Pred, headAd), Args: r.Head.Args},
+		Body: newBody,
+	})
+	return out, nil
+}
+
+// sipsOrder arranges the body for sideways information passing: ordinary
+// atoms keep their textual order; each comparison is placed at the
+// earliest point where its variables are bound (equalities with one free
+// side count as binders once the other side is available).
+func sipsOrder(body term.Formula, initiallyBound map[term.Term]bool) term.Formula {
+	bound := make(map[term.Term]bool, len(initiallyBound))
+	for v := range initiallyBound {
+		bound[v] = true
+	}
+	var ordinary, comparisons []term.Atom
+	for _, a := range body {
+		if term.IsComparison(a) {
+			comparisons = append(comparisons, a)
+		} else {
+			ordinary = append(ordinary, a)
+		}
+	}
+	pendingCmp := append([]term.Atom{}, comparisons...)
+	var out term.Formula
+	flushReady := func() {
+		for changed := true; changed; {
+			changed = false
+			var rest []term.Atom
+			for _, c := range pendingCmp {
+				ready := true
+				free := 0
+				for _, t := range c.Args {
+					if t.IsVar() && !bound[t] {
+						free++
+					}
+				}
+				if c.Pred == term.PredEq {
+					ready = free <= 1
+				} else {
+					ready = free == 0
+				}
+				if ready {
+					out = append(out, c)
+					for _, t := range c.Args {
+						if t.IsVar() {
+							bound[t] = true
+						}
+					}
+					changed = true
+				} else {
+					rest = append(rest, c)
+				}
+			}
+			pendingCmp = rest
+		}
+	}
+	flushReady()
+	for _, a := range ordinary {
+		out = append(out, a)
+		for _, t := range a.Args {
+			if t.IsVar() {
+				bound[t] = true
+			}
+		}
+		flushReady()
+	}
+	// Any leftover comparisons go at the end (the safety check rejected
+	// genuinely unbound ones already).
+	out = append(out, pendingCmp...)
+	return out
+}
+
+// MagicProgram exposes the rewritten program for inspection and tests.
+func MagicProgram(in Input, q Query) ([]term.Rule, error) {
+	p, err := buildPlan(in, q)
+	if err != nil {
+		return nil, err
+	}
+	rules, _, err := magicRewrite(p)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(rules, func(i, j int) bool { return rules[i].Head.Pred < rules[j].Head.Pred })
+	return rules, nil
+}

@@ -1,0 +1,183 @@
+package eval
+
+import (
+	"fmt"
+
+	"kdb/internal/storage"
+	"kdb/internal/term"
+)
+
+// topDown is a goal-directed engine: SLD resolution over the rules with
+// tabling. Each distinct call pattern (predicate + bound-argument shape)
+// gets a table of ground answers; recursive calls consume the answers
+// derived so far, and an outer driver re-runs the computation until no
+// table grows (naive-iteration tabling). This terminates on all Datalog
+// programs and only ever touches predicates relevant to the goal.
+type topDown struct {
+	in Input
+}
+
+// NewTopDown returns the tabled top-down engine.
+func NewTopDown(in Input) Engine { return &topDown{in: in} }
+
+// Name identifies the engine.
+func (e *topDown) Name() string { return "topdown" }
+
+// table holds the answers derived so far for one call pattern.
+type table struct {
+	answers *storage.Relation
+	// inPass marks that this table's rules are being (or have been)
+	// evaluated in the current pass, to avoid re-entering.
+	pass int
+}
+
+type topDownRun struct {
+	in    Input
+	graph map[string][]term.Rule
+	rn    term.Renamer
+
+	tables map[string]*table
+	pass   int
+	grew   bool
+}
+
+// Retrieve evaluates the query goal-directed.
+func (e *topDown) Retrieve(q Query) (*Result, error) {
+	p, err := buildPlan(e.in, q)
+	if err != nil {
+		return nil, err
+	}
+	run := &topDownRun{
+		in:     e.in,
+		graph:  make(map[string][]term.Rule),
+		tables: make(map[string]*table),
+	}
+	for _, r := range p.rules {
+		run.graph[r.Head.Pred] = append(run.graph[r.Head.Pred], r)
+	}
+	goal := p.rule.Head
+	// Naive-iteration driver: re-run until no table grows.
+	for {
+		run.pass++
+		run.grew = false
+		if err := run.solveTable(goal); err != nil {
+			return nil, err
+		}
+		if !run.grew {
+			break
+		}
+	}
+	res := &Result{Vars: p.vars}
+	if t, ok := run.tables[callKey(goal)]; ok {
+		t.answers.Scan(func(tp storage.Tuple) bool {
+			res.Tuples = append(res.Tuples, tp.Clone())
+			return true
+		})
+	}
+	return res, nil
+}
+
+// callKey canonicalizes a call: predicate plus the constants at bound
+// positions and the equality pattern of unbound positions. Two calls
+// that differ only in variable names share a table.
+func callKey(goal term.Atom) string {
+	names := make(map[term.Term]int)
+	b := []byte(goal.Pred)
+	for _, a := range goal.Args {
+		b = append(b, 0)
+		if a.IsConst() {
+			b = append(b, 'c')
+			b = append(b, a.String()...)
+			b = append(b, byte('0'+a.Kind()))
+			continue
+		}
+		id, ok := names[a]
+		if !ok {
+			id = len(names)
+			names[a] = id
+		}
+		b = append(b, 'v', byte('0'+id))
+	}
+	return string(b)
+}
+
+// solveTable ensures the table for the goal's call pattern has been
+// evaluated in this pass, deriving new answers from the goal's rules.
+func (r *topDownRun) solveTable(goal term.Atom) error {
+	key := callKey(goal)
+	t, ok := r.tables[key]
+	if !ok {
+		t = &table{answers: storage.NewRelation(len(goal.Args))}
+		r.tables[key] = t
+	}
+	if t.pass == r.pass {
+		return nil // already evaluated (or in progress) this pass
+	}
+	t.pass = r.pass
+	for _, rule := range r.graph[goal.Pred] {
+		fresh := r.rn.RenameRule(rule)
+		mgu, ok := term.Unify(goal, fresh.Head, nil)
+		if !ok {
+			continue
+		}
+		var derr error
+		_, err := solveBody(mgu.ApplyFormula(fresh.Body), nil, r.lookup, func(s term.Subst) bool {
+			head := s.Apply(mgu.Apply(fresh.Head))
+			if !head.IsGround() {
+				derr = fmt.Errorf("eval: derived non-ground fact %v from %v", head, rule)
+				return false
+			}
+			added, err := t.answers.Insert(storage.Tuple(head.Args))
+			if err != nil {
+				derr = err
+				return false
+			}
+			if added {
+				r.grew = true
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if derr != nil {
+			return derr
+		}
+	}
+	return nil
+}
+
+// lookup resolves one body atom: EDB predicates via the store, IDB
+// predicates via their (possibly still-growing) tables.
+func (r *topDownRun) lookup(a term.Atom, base term.Subst, fn func(term.Subst) bool) error {
+	rules := r.graph[a.Pred]
+	if len(rules) == 0 {
+		return r.in.Store.Match(a, base, fn)
+	}
+	goal := base.Apply(a)
+	if err := r.solveTable(goal); err != nil {
+		return err
+	}
+	t := r.tables[callKey(goal)]
+	stopped := false
+	t.answers.Scan(func(tp storage.Tuple) bool {
+		ext, ok := term.Match(goal, term.Atom{Pred: a.Pred, Args: tp}, base)
+		if !ok {
+			return true
+		}
+		if !fn(ext) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if stopped {
+		return nil
+	}
+	// A predicate may also have stored facts (robustness; the kb layer
+	// normally rewrites those into bodiless rules).
+	if r.in.Store.Relation(a.Pred) != nil {
+		return r.in.Store.Match(a, base, fn)
+	}
+	return nil
+}

@@ -1,0 +1,703 @@
+// Package kb assembles a complete knowledge-rich database in the sense of
+// Section 2 of the paper: an extensional database of stored facts (with
+// optional durability), an intensional database of rules, the built-in
+// comparison predicates, a catalog of schema annotations, and the query
+// machinery — retrieve engines (§3.1) and the describe engine with its §6
+// extensions.
+package kb
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"kdb/internal/catalog"
+	"kdb/internal/core"
+	"kdb/internal/depgraph"
+	"kdb/internal/eval"
+	"kdb/internal/parser"
+	"kdb/internal/storage"
+	"kdb/internal/term"
+)
+
+// EngineKind selects the retrieve evaluation strategy.
+type EngineKind string
+
+// Retrieve engines.
+const (
+	EngineNaive     EngineKind = "naive"
+	EngineSemiNaive EngineKind = "seminaive"
+	EngineTopDown   EngineKind = "topdown"
+	EngineMagic     EngineKind = "magic"
+)
+
+// KB is one knowledge-rich database. All methods are safe for concurrent
+// use; loads are serialized.
+type KB struct {
+	mu sync.RWMutex
+
+	cat         *catalog.Catalog
+	store       *storage.Store
+	rules       []term.Rule
+	constraints []term.Formula
+	engine      EngineKind
+	opts        core.Options
+	intensional bool
+	provenance  bool
+
+	// describer is rebuilt lazily after each load.
+	describer *core.Describer
+}
+
+// New returns an empty in-memory knowledge base.
+func New() *KB {
+	return &KB{cat: catalog.New(), store: storage.NewMemory(), engine: EngineSemiNaive}
+}
+
+// Open returns a knowledge base whose facts persist under dir (snapshot +
+// write-ahead log). Rules are not persisted by the store; reload them
+// from source (or use LoadFile) after opening.
+func Open(dir string) (*KB, error) {
+	st, err := storage.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	k := &KB{cat: catalog.New(), store: st, engine: EngineSemiNaive}
+	// Register recovered predicates in the catalog.
+	for _, pred := range st.Preds() {
+		if _, err := k.cat.Declare(pred, st.Relation(pred).Arity(), catalog.ClassEDB); err != nil {
+			return nil, err
+		}
+	}
+	return k, nil
+}
+
+// Close flushes durable state.
+func (k *KB) Close() error { return k.store.Close() }
+
+// Checkpoint folds the write-ahead log into a snapshot (durable KBs).
+func (k *KB) Checkpoint() error { return k.store.Checkpoint() }
+
+// SetEngine selects the retrieve engine (default: semi-naive).
+func (k *KB) SetEngine(e EngineKind) error {
+	switch e {
+	case EngineNaive, EngineSemiNaive, EngineTopDown, EngineMagic:
+		k.mu.Lock()
+		k.engine = e
+		k.mu.Unlock()
+		return nil
+	default:
+		return fmt.Errorf("kb: unknown engine %q", e)
+	}
+}
+
+// SetDescribeOptions tunes the describe engine (takes effect on the next
+// describe).
+func (k *KB) SetDescribeOptions(opts core.Options) {
+	k.mu.Lock()
+	k.opts = opts
+	k.describer = nil
+	k.mu.Unlock()
+}
+
+// LoadFile loads a .kdb program file.
+func (k *KB) LoadFile(path string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("kb: %w", err)
+	}
+	return k.LoadString(string(src))
+}
+
+// LoadString parses and loads a program: facts into the store, rules into
+// the IDB, declarations into the catalog. A predicate that heads any
+// proper rule (with a body or with variables) is intensional; ground
+// bodiless clauses for it are kept as bodiless IDB rules (§2.1 permits
+// rules with zero subgoals).
+func (k *KB) LoadString(src string) error {
+	prog, err := parser.ParseProgram(src)
+	if err != nil {
+		return err
+	}
+	return k.LoadProgram(prog)
+}
+
+// LoadProgram loads an already-parsed program.
+func (k *KB) LoadProgram(prog *parser.Program) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+
+	// Classify head predicates: any non-fact clause makes the predicate
+	// intensional. Include predicates that are already intensional.
+	intensional := make(map[string]bool)
+	for _, r := range k.rules {
+		intensional[r.Head.Pred] = true
+	}
+	for _, c := range prog.Clauses {
+		if !c.IsFact() {
+			intensional[c.Head.Pred] = true
+		}
+	}
+
+	// Validate arities and classes against the catalog.
+	for _, c := range prog.Clauses {
+		class := catalog.ClassEDB
+		if intensional[c.Head.Pred] {
+			class = catalog.ClassIDB
+		}
+		if term.IsComparisonPred(c.Head.Pred) {
+			return fmt.Errorf("kb: %v: a comparison cannot be defined", c.Head)
+		}
+		if err := k.checkAtomArity(c.Head, class); err != nil {
+			return err
+		}
+		for _, a := range c.Body {
+			if err := k.checkAtomArity(a, catalog.ClassEDB); err != nil {
+				return err
+			}
+		}
+	}
+
+	// A stored predicate gaining rules is promoted; its stored facts are
+	// re-read as bodiless rules.
+	for pred := range intensional {
+		if p := k.cat.Lookup(pred); p != nil && p.Class == catalog.ClassEDB {
+			if err := k.cat.Promote(pred); err != nil {
+				return err
+			}
+			for _, f := range k.store.Facts(pred) {
+				k.rules = append(k.rules, term.Rule{Head: f})
+			}
+			// Facts stay in the store as well; the engines read both.
+		}
+	}
+
+	for _, d := range prog.Declarations {
+		switch d.Kind {
+		case parser.DeclKey:
+			if err := k.cat.AddKey(d.Pred, d.Arity, d.Columns); err != nil {
+				return err
+			}
+		case parser.DeclName:
+			k.cat.SetDisplay(d.Pred, d.Name)
+		}
+	}
+
+	for _, c := range prog.Clauses {
+		if c.IsFact() && !intensional[c.Head.Pred] {
+			if _, err := k.store.InsertAtom(c.Head); err != nil {
+				return err
+			}
+		} else {
+			k.rules = append(k.rules, c)
+		}
+	}
+	for _, ic := range prog.Constraints {
+		for _, a := range ic {
+			if err := k.checkAtomArity(a, catalog.ClassEDB); err != nil {
+				return err
+			}
+		}
+		k.constraints = append(k.constraints, ic)
+	}
+	k.describer = nil // rebuild lazily
+	return nil
+}
+
+func (k *KB) checkAtomArity(a term.Atom, class catalog.Class) error {
+	if term.IsComparisonPred(a.Pred) {
+		if len(a.Args) != 2 {
+			return fmt.Errorf("kb: comparison %v must be binary", a)
+		}
+		return nil
+	}
+	if p := k.cat.Lookup(a.Pred); p != nil {
+		if p.Arity != len(a.Args) {
+			return fmt.Errorf("kb: %s used with arity %d but known with arity %d", a.Pred, len(a.Args), p.Arity)
+		}
+		if class == catalog.ClassIDB && p.Class == catalog.ClassEDB {
+			return nil // promotion handled by the caller
+		}
+		return nil
+	}
+	_, err := k.cat.Declare(a.Pred, len(a.Args), class)
+	return err
+}
+
+// Assert inserts one ground fact (EDB predicates only).
+func (k *KB) Assert(a term.Atom) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.cat.IsIDB(a.Pred) {
+		return fmt.Errorf("kb: %s is intensional; assert rules by loading a program", a.Pred)
+	}
+	if err := k.checkAtomArity(a, catalog.ClassEDB); err != nil {
+		return err
+	}
+	_, err := k.store.InsertAtom(a)
+	return err
+}
+
+// Rules returns a copy of the IDB.
+func (k *KB) Rules() []term.Rule {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return append([]term.Rule(nil), k.rules...)
+}
+
+// Catalog exposes the schema.
+func (k *KB) Catalog() *catalog.Catalog { return k.cat }
+
+// Store exposes the extensional database.
+func (k *KB) Store() *storage.Store { return k.store }
+
+// FactCount returns the number of stored facts across all predicates.
+func (k *KB) FactCount() int {
+	n := 0
+	for _, p := range k.store.Preds() {
+		n += k.store.Count(p)
+	}
+	return n
+}
+
+// Constraints returns a copy of the loaded integrity constraints.
+func (k *KB) Constraints() []term.Formula {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	out := make([]term.Formula, len(k.constraints))
+	for i, ic := range k.constraints {
+		out[i] = ic.Clone()
+	}
+	return out
+}
+
+// CheckConstraints evaluates every integrity constraint against the
+// current database and returns one message per violating instance
+// (capped per constraint). An empty result means the data satisfies all
+// constraints.
+func (k *KB) CheckConstraints() ([]string, error) {
+	k.mu.RLock()
+	engine := k.newEngine()
+	constraints := make([]term.Formula, len(k.constraints))
+	copy(constraints, k.constraints)
+	k.mu.RUnlock()
+	var out []string
+	for _, ic := range constraints {
+		vars := ic.Vars()
+		probe := term.NewAtom("__ic__", vars...)
+		res, err := engine.Retrieve(eval.Query{Subject: probe, Where: ic})
+		if err != nil {
+			return nil, fmt.Errorf("kb: checking constraint :- %v: %w", ic, err)
+		}
+		for i, tuple := range res.Tuples {
+			if i == 4 {
+				out = append(out, fmt.Sprintf("constraint :- %v: … and %d more violations", ic, len(res.Tuples)-i))
+				break
+			}
+			sub := term.NewSubst(len(vars))
+			for j, v := range vars {
+				sub[v] = tuple[j]
+			}
+			out = append(out, fmt.Sprintf("constraint :- %v violated by %v", ic, sub.ApplyFormula(ic)))
+		}
+	}
+	return out, nil
+}
+
+// Validate reports the rule-discipline diagnostics of §2.1: recursive
+// rules that are not strongly linear or not typed. These are advisory;
+// describe handles them in bounded mode.
+func (k *KB) Validate() []string {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	g := depgraph.New(k.rules)
+	var out []string
+	for _, v := range g.CheckDiscipline() {
+		out = append(out, v.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// newEngine builds the configured retrieve engine over the current state.
+func (k *KB) newEngine() eval.Engine {
+	in := eval.Input{Store: k.store, Rules: k.rules}
+	switch k.engine {
+	case EngineNaive:
+		return eval.NewNaive(in)
+	case EngineTopDown:
+		return eval.NewTopDown(in)
+	case EngineMagic:
+		return eval.NewMagic(in)
+	default:
+		return eval.NewSemiNaive(in)
+	}
+}
+
+// Retrieve evaluates a data query (§3.1).
+func (k *KB) Retrieve(subject term.Atom, where term.Formula) (*eval.Result, error) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.newEngine().Retrieve(eval.Query{Subject: subject, Where: where})
+}
+
+// RetrieveOr evaluates a data query with a disjunctive qualifier
+// (§6's second research direction): the answer is the union of the
+// per-disjunct answers.
+func (k *KB) RetrieveOr(subject term.Atom, disjuncts []term.Formula) (*eval.Result, error) {
+	if len(disjuncts) == 0 {
+		return k.Retrieve(subject, nil)
+	}
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	engine := k.newEngine()
+	var merged *eval.Result
+	seen := make(map[string]bool)
+	for _, d := range disjuncts {
+		res, err := engine.Retrieve(eval.Query{Subject: subject, Where: d})
+		if err != nil {
+			return nil, err
+		}
+		if merged == nil {
+			merged = &eval.Result{Vars: res.Vars}
+		}
+		for _, t := range res.Tuples {
+			key := storage.Tuple(t).Key()
+			if !seen[key] {
+				seen[key] = true
+				merged.Tuples = append(merged.Tuples, t)
+			}
+		}
+	}
+	return merged, nil
+}
+
+// DescribeOr evaluates a knowledge query with a disjunctive hypothesis:
+// the answers that hold under every disjunct.
+func (k *KB) DescribeOr(subject term.Atom, disjuncts []term.Formula) (*core.Answers, error) {
+	d, err := k.getDescriber()
+	if err != nil {
+		return nil, err
+	}
+	ans, err := d.DescribeOr(subject, disjuncts)
+	if err != nil {
+		return nil, err
+	}
+	k.applyDisplayNames(ans)
+	return ans, nil
+}
+
+func (k *KB) showProvenance() bool {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.provenance
+}
+
+// SetProvenance switches provenance display on or off (off by default):
+// when on, rendered describe answers list the rules each derivation
+// applied.
+func (k *KB) SetProvenance(on bool) {
+	k.mu.Lock()
+	k.provenance = on
+	k.mu.Unlock()
+}
+
+// SetIntensional switches intensional answering for data queries on or
+// off (off by default). When on, Exec answers a retrieve with both the
+// extension AND the knowledge characterizing it — the combined
+// data+knowledge responses of the intensional-answer literature the
+// paper's introduction surveys (mechanism 2 of its three).
+func (k *KB) SetIntensional(on bool) {
+	k.mu.Lock()
+	k.intensional = on
+	k.mu.Unlock()
+}
+
+func (k *KB) getDescriber() (*core.Describer, error) {
+	k.mu.RLock()
+	d := k.describer
+	k.mu.RUnlock()
+	if d != nil {
+		return d, nil
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.describer != nil {
+		return k.describer, nil
+	}
+	keys := make(map[string][][]int)
+	for _, class := range []catalog.Class{catalog.ClassEDB, catalog.ClassIDB} {
+		for _, p := range k.cat.Preds(class) {
+			if len(p.Keys) > 0 {
+				keys[p.Name] = p.Keys
+			}
+		}
+	}
+	opts := k.opts
+	opts.Constraints = append(append([]term.Formula{}, opts.Constraints...), k.constraints...)
+	d, err := core.New(k.rules, keys, opts)
+	if err != nil {
+		return nil, err
+	}
+	k.describer = d
+	return d, nil
+}
+
+// Describe evaluates a knowledge query (§3.2). Artificial step-predicate
+// names in answers are replaced by their @name display names.
+func (k *KB) Describe(subject term.Atom, where term.Formula) (*core.Answers, error) {
+	d, err := k.getDescriber()
+	if err != nil {
+		return nil, err
+	}
+	ans, err := d.Describe(subject, where)
+	if err != nil {
+		return nil, err
+	}
+	k.applyDisplayNames(ans)
+	return ans, nil
+}
+
+// DescribeNecessary evaluates `describe … where necessary ψ` (§6 ext. 1).
+func (k *KB) DescribeNecessary(subject term.Atom, where term.Formula) (*core.Answers, error) {
+	d, err := k.getDescriber()
+	if err != nil {
+		return nil, err
+	}
+	ans, err := d.DescribeNecessary(subject, where)
+	if err != nil {
+		return nil, err
+	}
+	k.applyDisplayNames(ans)
+	return ans, nil
+}
+
+// DescribeNot evaluates `describe … where not h …` (§6 ext. 2).
+func (k *KB) DescribeNot(subject term.Atom, banned, positive term.Formula) (*core.Necessity, error) {
+	d, err := k.getDescriber()
+	if err != nil {
+		return nil, err
+	}
+	return d.DescribeNot(subject, banned, positive)
+}
+
+// Possible evaluates the subjectless describe (§6 ext. 3).
+func (k *KB) Possible(where term.Formula) (*core.Possibility, error) {
+	d, err := k.getDescriber()
+	if err != nil {
+		return nil, err
+	}
+	return d.Possible(where)
+}
+
+// DescribeWildcard evaluates `describe * where ψ` (§6 ext. 4).
+func (k *KB) DescribeWildcard(where term.Formula) ([]core.WildcardEntry, error) {
+	d, err := k.getDescriber()
+	if err != nil {
+		return nil, err
+	}
+	return d.DescribeWildcard(where)
+}
+
+// Compare evaluates the §6 compare statement.
+func (k *KB) Compare(left term.Atom, leftHyp term.Formula, right term.Atom, rightHyp term.Formula) (*core.ConceptComparison, error) {
+	d, err := k.getDescriber()
+	if err != nil {
+		return nil, err
+	}
+	return d.Compare(left, leftHyp, right, rightHyp)
+}
+
+// applyDisplayNames rewrites predicate names in answers to their @name
+// display names (meaningful names for artificial predicates, §5.3).
+func (k *KB) applyDisplayNames(ans *core.Answers) {
+	for i := range ans.Formulas {
+		body := ans.Formulas[i].Body
+		for j, a := range body {
+			if display := k.cat.DisplayName(a.Pred); display != a.Pred {
+				body[j] = term.Atom{Pred: display, Args: a.Args}
+			}
+		}
+	}
+}
+
+// Exec parses and runs any query statement, returning a displayable
+// result. It is the single coherent instrument the paper argues for: the
+// caller does not need to know whether the question addresses data or
+// knowledge.
+func (k *KB) Exec(q parser.Query) (*ExecResult, error) {
+	switch s := q.(type) {
+	case *parser.Retrieve:
+		var res *eval.Result
+		var err error
+		if len(s.Or) > 0 {
+			res, err = k.RetrieveOr(s.Subject, s.Disjuncts())
+		} else {
+			res, err = k.Retrieve(s.Subject, s.Where)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out := &ExecResult{Query: q, Retrieve: res, subject: s.Subject}
+		k.mu.RLock()
+		intensional := k.intensional
+		k.mu.RUnlock()
+		if intensional {
+			// Intensional answering: attach the knowledge characterizing
+			// the extension, when the subject is an IDB concept.
+			if ans, derr := k.DescribeOr(s.Subject, s.Disjuncts()); derr == nil {
+				out.Knowledge = ans
+			}
+		}
+		return out, nil
+	case *parser.Describe:
+		switch {
+		case s.Wildcard:
+			if len(s.Not) > 0 {
+				return nil, fmt.Errorf("kb: 'not' is not supported in a wildcard describe")
+			}
+			entries, err := k.DescribeWildcard(s.Where)
+			if err != nil {
+				return nil, err
+			}
+			return &ExecResult{Query: q, Wildcard: entries, wildcard: true}, nil
+		case s.Subjectless:
+			if len(s.Not) > 0 {
+				return nil, fmt.Errorf("kb: 'not' is not supported in a subjectless describe")
+			}
+			p, err := k.Possible(s.Where)
+			if err != nil {
+				return nil, err
+			}
+			return &ExecResult{Query: q, Possibility: p}, nil
+		case len(s.Not) > 0:
+			n, err := k.DescribeNot(s.Subject, s.Not, s.Where)
+			if err != nil {
+				return nil, err
+			}
+			return &ExecResult{Query: q, Necessity: n}, nil
+		case s.Necessary:
+			ans, err := k.DescribeNecessary(s.Subject, s.Where)
+			if err != nil {
+				return nil, err
+			}
+			return &ExecResult{Query: q, Describe: ans, provenance: k.showProvenance()}, nil
+		case len(s.Or) > 0:
+			ans, err := k.DescribeOr(s.Subject, s.Disjuncts())
+			if err != nil {
+				return nil, err
+			}
+			return &ExecResult{Query: q, Describe: ans, provenance: k.showProvenance()}, nil
+		default:
+			ans, err := k.Describe(s.Subject, s.Where)
+			if err != nil {
+				return nil, err
+			}
+			return &ExecResult{Query: q, Describe: ans, provenance: k.showProvenance()}, nil
+		}
+	case *parser.Compare:
+		c, err := k.Compare(s.Left.Subject, s.Left.Where, s.Right.Subject, s.Right.Where)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Query: q, Comparison: c}, nil
+	default:
+		return nil, fmt.Errorf("kb: unsupported query %T", q)
+	}
+}
+
+// ExecString parses and runs one query given as text.
+func (k *KB) ExecString(src string) (*ExecResult, error) {
+	q, err := parser.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	return k.Exec(q)
+}
+
+// ExecResult is the displayable outcome of Exec: exactly one of the
+// result fields is set, according to the query form.
+type ExecResult struct {
+	Query    parser.Query
+	Retrieve *eval.Result
+	// Knowledge carries the intensional characterization of a retrieve
+	// answer when intensional answering is on (SetIntensional).
+	Knowledge   *core.Answers
+	Describe    *core.Answers
+	Necessity   *core.Necessity
+	Possibility *core.Possibility
+	Wildcard    []core.WildcardEntry
+	Comparison  *core.ConceptComparison
+
+	subject    term.Atom
+	wildcard   bool
+	provenance bool
+}
+
+// String renders the result for a terminal.
+func (r *ExecResult) String() string {
+	switch {
+	case r.Retrieve != nil:
+		var b strings.Builder
+		if len(r.Retrieve.Tuples) == 0 {
+			b.WriteString("no answers")
+		} else {
+			atoms := r.Retrieve.Atoms(r.subject)
+			lines := make([]string, len(atoms))
+			for i, a := range atoms {
+				lines[i] = a.String()
+			}
+			sort.Strings(lines)
+			b.WriteString(strings.Join(lines, "\n"))
+		}
+		if r.Knowledge != nil && !r.Knowledge.Empty() {
+			b.WriteString("\nbecause:\n")
+			for _, f := range r.Knowledge.Formulas {
+				b.WriteString("  " + f.String() + "\n")
+			}
+			return strings.TrimRight(b.String(), "\n")
+		}
+		return b.String()
+	case r.Describe != nil:
+		if !r.provenance {
+			return r.Describe.String()
+		}
+		var b strings.Builder
+		if r.Describe.Contradiction || len(r.Describe.Formulas) == 0 {
+			return r.Describe.String()
+		}
+		for i, a := range r.Describe.Formulas {
+			if i > 0 {
+				b.WriteByte('\n')
+			}
+			b.WriteString(a.String())
+			for _, rule := range a.Provenance() {
+				b.WriteString("\n   via ")
+				b.WriteString(rule.String())
+			}
+		}
+		return b.String()
+	case r.Necessity != nil:
+		return r.Necessity.String()
+	case r.Possibility != nil:
+		return r.Possibility.String()
+	case r.wildcard:
+		var b strings.Builder
+		for i, e := range r.Wildcard {
+			if i > 0 {
+				b.WriteByte('\n')
+			}
+			b.WriteString(e.Answers.String())
+		}
+		if b.Len() == 0 {
+			return "no subjects are derivable from this qualifier"
+		}
+		return b.String()
+	case r.Comparison != nil:
+		return r.Comparison.String()
+	default:
+		return "no result"
+	}
+}

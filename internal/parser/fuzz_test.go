@@ -1,0 +1,110 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// Fuzz targets: the parser must never panic, and everything it accepts
+// must re-parse to the same structure after rendering (print/parse
+// round-trip stability). Seeds run as part of the normal test suite;
+// `go test -fuzz` explores further.
+
+func FuzzParseProgram(f *testing.F) {
+	seeds := []string{
+		``,
+		`p(a).`,
+		`student(ann, math, 3.9).`,
+		`honor(X) :- student(X, Y, Z), Z > 3.7.`,
+		`prior(X, Y) :- prereq(X, Z), prior(Z, Y).`,
+		`:- honor(X), suspended(X).`,
+		`@key student/3 1.`,
+		`@name prior_step chain.`,
+		`p("string with \"escape\"").`,
+		`p(-3.5e2).`,
+		`p(X) :- X = Y, q(Y).`,
+		"% comment\np(a). % trailing\n",
+		`p(a`, `p(a))`, `:-`, `@`, `@key x/`, `p(1.2.3).`, `p(!).`,
+		`where(a).`, `p(X) :- .`, "p(\x00).", `p(Ünïcödé).`,
+		strings.Repeat(`p(a). `, 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := ParseProgram(src)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		// Round trip: render and re-parse; clause count and structure
+		// must be stable.
+		var b strings.Builder
+		for _, c := range prog.Clauses {
+			b.WriteString(c.String())
+			b.WriteByte('\n')
+		}
+		for _, ic := range prog.Constraints {
+			b.WriteString(":- ")
+			for i, a := range ic {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(a.String())
+			}
+			b.WriteString(".\n")
+		}
+		for _, d := range prog.Declarations {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		again, err := ParseProgram(b.String())
+		if err != nil {
+			t.Fatalf("rendered program failed to re-parse: %v\nsource: %q\nrendered: %q", err, src, b.String())
+		}
+		if len(again.Clauses) != len(prog.Clauses) ||
+			len(again.Constraints) != len(prog.Constraints) ||
+			len(again.Declarations) != len(prog.Declarations) {
+			t.Fatalf("round trip changed shape: %q → %q", src, b.String())
+		}
+		for i := range prog.Clauses {
+			if !prog.Clauses[i].Equal(again.Clauses[i]) {
+				t.Fatalf("clause %d changed: %v → %v", i, prog.Clauses[i], again.Clauses[i])
+			}
+		}
+	})
+}
+
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		`retrieve honor(X).`,
+		`retrieve honor(X) where enroll(X, databases).`,
+		`retrieve p(X) where a(X) or b(X).`,
+		`describe honor(X).`,
+		`describe can_ta(X, databases) where student(X, math, V) and V > 3.7.`,
+		`describe honor(X) where necessary p(X).`,
+		`describe can_ta(X, Y) where not honor(X).`,
+		`describe where p(X) and q(X).`,
+		`describe * where honor(X).`,
+		`compare (describe a(X)) with (describe b(X)).`,
+		`retrieve`, `describe .`, `compare (describe a(X)) with`, `retrieve X > 3.`,
+		`describe honor(X) where p(X) or q(X) or r(X).`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		// Render and re-parse: must stay accepted and stable.
+		rendered := q.String()
+		again, err := ParseQuery(rendered)
+		if err != nil {
+			t.Fatalf("rendered query failed to re-parse: %v\nsource: %q\nrendered: %q", err, src, rendered)
+		}
+		if again.String() != rendered {
+			t.Fatalf("round trip unstable: %q → %q → %q", src, rendered, again.String())
+		}
+	})
+}

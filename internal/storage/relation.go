@@ -1,0 +1,233 @@
+// Package storage implements the extensional database (the paper's set P
+// of stored predicates): per-predicate relations with hash indexes on
+// bound-column patterns, a store aggregating them, and optional
+// durability via snapshot files plus a write-ahead log with CRC-checked
+// records and crash recovery.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"kdb/internal/term"
+)
+
+// Tuple is one stored fact's argument list. All terms are constants.
+type Tuple []term.Term
+
+// Key returns a canonical byte-string identity for the tuple.
+func (t Tuple) Key() string {
+	var b []byte
+	for _, x := range t {
+		b = appendTermKey(b, x)
+	}
+	return string(b)
+}
+
+// Clone returns an independent copy.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Relation is the stored extension of one predicate: a duplicate-free set
+// of tuples with lazily built hash indexes. All methods are safe for
+// concurrent use.
+type Relation struct {
+	mu    sync.RWMutex
+	arity int
+	// tuples holds the insertion-ordered extension.
+	tuples []Tuple
+	// present maps Tuple.Key to its index in tuples, for deduplication.
+	present map[string]int
+	// indexes maps a bound-column bitmask to a hash index: the key of the
+	// bound column values → indices of matching tuples. Indexes are built
+	// on first use for a mask and maintained incrementally afterwards.
+	indexes map[uint64]map[string][]int
+}
+
+// NewRelation returns an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	if arity < 0 || arity > 63 {
+		panic(fmt.Sprintf("storage: unsupported arity %d", arity))
+	}
+	return &Relation{
+		arity:   arity,
+		present: make(map[string]int),
+		indexes: make(map[uint64]map[string][]int),
+	}
+}
+
+// Arity returns the relation's arity.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of stored tuples.
+func (r *Relation) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tuples)
+}
+
+// Insert adds a tuple, reporting whether it was new. Tuples must be
+// ground and of the right arity.
+func (r *Relation) Insert(t Tuple) (bool, error) {
+	if len(t) != r.arity {
+		return false, fmt.Errorf("storage: tuple arity %d, want %d", len(t), r.arity)
+	}
+	for _, x := range t {
+		if x.IsVar() {
+			return false, fmt.Errorf("storage: cannot store non-ground tuple containing %v", x)
+		}
+	}
+	key := t.Key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.present[key]; dup {
+		return false, nil
+	}
+	idx := len(r.tuples)
+	r.tuples = append(r.tuples, t.Clone())
+	r.present[key] = idx
+	// Maintain existing indexes incrementally.
+	for mask, index := range r.indexes {
+		k := maskKey(t, mask)
+		index[k] = append(index[k], idx)
+	}
+	return true, nil
+}
+
+// Contains reports whether the exact tuple is stored.
+func (r *Relation) Contains(t Tuple) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.present[t.Key()]
+	return ok
+}
+
+// Scan calls fn for every tuple in insertion order until fn returns
+// false. The tuple passed to fn must not be modified.
+func (r *Relation) Scan(fn func(Tuple) bool) {
+	r.mu.RLock()
+	// Copy the slice header; tuples are append-only so the snapshot is
+	// consistent even if inserts race with the scan.
+	tuples := r.tuples
+	r.mu.RUnlock()
+	for _, t := range tuples {
+		if !fn(t) {
+			return
+		}
+	}
+}
+
+// Select calls fn for every tuple matching the pattern until fn returns
+// false. The pattern has the relation's arity; constant positions must
+// match exactly and variable positions match anything (repeated
+// variables in the pattern must match equal values). When at least one
+// position is bound, a hash index on that column set is used (built on
+// first use).
+func (r *Relation) Select(pattern []term.Term, fn func(Tuple) bool) error {
+	if len(pattern) != r.arity {
+		return fmt.Errorf("storage: pattern arity %d, want %d", len(pattern), r.arity)
+	}
+	var mask uint64
+	for i, p := range pattern {
+		if p.IsConst() {
+			mask |= 1 << uint(i)
+		}
+	}
+	if mask == 0 {
+		r.scanMatching(pattern, r.snapshotAll(), fn)
+		return nil
+	}
+	idxs := r.lookup(mask, pattern)
+	r.mu.RLock()
+	tuples := r.tuples
+	r.mu.RUnlock()
+	for _, i := range idxs {
+		t := tuples[i]
+		if matches(pattern, t) {
+			if !fn(t) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+func (r *Relation) snapshotAll() []Tuple {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tuples
+}
+
+func (r *Relation) scanMatching(pattern []term.Term, tuples []Tuple, fn func(Tuple) bool) {
+	for _, t := range tuples {
+		if matches(pattern, t) {
+			if !fn(t) {
+				return
+			}
+		}
+	}
+}
+
+// lookup returns the candidate tuple indices for the mask/pattern pair,
+// building the index on first use.
+func (r *Relation) lookup(mask uint64, pattern []term.Term) []int {
+	r.mu.RLock()
+	index, ok := r.indexes[mask]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		index, ok = r.indexes[mask]
+		if !ok {
+			index = make(map[string][]int)
+			for i, t := range r.tuples {
+				k := maskKey(t, mask)
+				index[k] = append(index[k], i)
+			}
+			r.indexes[mask] = index
+		}
+		r.mu.Unlock()
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return index[maskKey(pattern, mask)]
+}
+
+// matches reports whether the tuple agrees with the pattern's constants
+// and with repeated pattern variables.
+func matches(pattern []term.Term, t Tuple) bool {
+	var bound map[term.Term]term.Term
+	for i, p := range pattern {
+		switch {
+		case p.IsConst():
+			if p != t[i] {
+				return false
+			}
+		default:
+			if bound == nil {
+				bound = make(map[term.Term]term.Term, 2)
+			}
+			if prev, ok := bound[p]; ok {
+				if prev != t[i] {
+					return false
+				}
+			} else {
+				bound[p] = t[i]
+			}
+		}
+	}
+	return true
+}
+
+// maskKey extracts the identity of the masked columns.
+func maskKey(t []term.Term, mask uint64) string {
+	var b []byte
+	for i, x := range t {
+		if mask&(1<<uint(i)) != 0 {
+			b = appendTermKey(b, x)
+		}
+	}
+	return string(b)
+}

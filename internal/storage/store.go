@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"kdb/internal/term"
+)
+
+// Store aggregates the relations of one extensional database. A Store is
+// either purely in-memory (NewMemory) or durable (Open), in which case
+// every insert is appended to a write-ahead log and Checkpoint folds the
+// log into a snapshot. All methods are safe for concurrent use.
+type Store struct {
+	mu   sync.RWMutex
+	rels map[string]*Relation
+
+	dir string // empty for in-memory stores
+	wal *wal
+}
+
+// NewMemory returns an empty, non-durable store.
+func NewMemory() *Store {
+	return &Store{rels: make(map[string]*Relation)}
+}
+
+// Open returns a durable store rooted at dir, creating it if needed and
+// recovering state from the snapshot and write-ahead log if present.
+// A torn final WAL record (crash mid-append) is truncated away.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	s := &Store{rels: make(map[string]*Relation), dir: dir}
+	if err := s.loadSnapshot(filepath.Join(dir, snapshotName)); err != nil {
+		return nil, err
+	}
+	w, err := openWAL(filepath.Join(dir, walName), func(pred string, t Tuple) error {
+		_, err := s.insertLocked(pred, t)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.wal = w
+	return s, nil
+}
+
+// Dir returns the durable directory, or "" for in-memory stores.
+func (s *Store) Dir() string { return s.dir }
+
+// Relation returns the relation for pred, or nil if no fact for pred has
+// been stored.
+func (s *Store) Relation(pred string) *Relation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rels[pred]
+}
+
+// Preds returns the stored predicate names, sorted.
+func (s *Store) Preds() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.rels))
+	for p := range s.rels {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the number of stored tuples for pred.
+func (s *Store) Count(pred string) int {
+	if r := s.Relation(pred); r != nil {
+		return r.Len()
+	}
+	return 0
+}
+
+// Insert stores a fact, reporting whether it was new. The first insert
+// for a predicate fixes its arity.
+func (s *Store) Insert(pred string, t Tuple) (bool, error) {
+	fresh, err := s.insertLocked(pred, t)
+	if err != nil || !fresh {
+		return fresh, err
+	}
+	if s.wal != nil {
+		if err := s.wal.append(pred, t); err != nil {
+			return true, fmt.Errorf("storage: fact stored but WAL append failed: %w", err)
+		}
+	}
+	return true, nil
+}
+
+func (s *Store) insertLocked(pred string, t Tuple) (bool, error) {
+	s.mu.Lock()
+	r, ok := s.rels[pred]
+	if !ok {
+		r = NewRelation(len(t))
+		s.rels[pred] = r
+	}
+	s.mu.Unlock()
+	return r.Insert(t)
+}
+
+// InsertAtom stores a ground atom as a fact.
+func (s *Store) InsertAtom(a term.Atom) (bool, error) {
+	if !a.IsGround() {
+		return false, fmt.Errorf("storage: fact %v is not ground", a)
+	}
+	return s.Insert(a.Pred, Tuple(a.Args))
+}
+
+// Contains reports whether the ground atom is stored.
+func (s *Store) Contains(a term.Atom) bool {
+	r := s.Relation(a.Pred)
+	if r == nil || r.Arity() != len(a.Args) {
+		return false
+	}
+	return r.Contains(Tuple(a.Args))
+}
+
+// Match finds all stored facts unifying with atom under base and calls fn
+// with each extended substitution until fn returns false. Constant
+// positions (after applying base) are served from a hash index.
+func (s *Store) Match(atom term.Atom, base term.Subst, fn func(term.Subst) bool) error {
+	r := s.Relation(atom.Pred)
+	if r == nil {
+		return nil // unknown predicate: empty extension
+	}
+	if r.Arity() != len(atom.Args) {
+		return fmt.Errorf("storage: %s used with arity %d, stored with %d", atom.Pred, len(atom.Args), r.Arity())
+	}
+	pattern := base.Apply(atom)
+	return r.Select(pattern.Args, func(t Tuple) bool {
+		ext, ok := term.Match(pattern, term.Atom{Pred: atom.Pred, Args: t}, base)
+		if !ok {
+			return true // repeated-variable mismatch already filtered, but stay safe
+		}
+		return fn(ext)
+	})
+}
+
+// Facts returns all stored facts for pred as atoms, in insertion order.
+func (s *Store) Facts(pred string) []term.Atom {
+	r := s.Relation(pred)
+	if r == nil {
+		return nil
+	}
+	out := make([]term.Atom, 0, r.Len())
+	r.Scan(func(t Tuple) bool {
+		out = append(out, term.Atom{Pred: pred, Args: t.Clone()})
+		return true
+	})
+	return out
+}
+
+// Checkpoint writes a snapshot of the full store and truncates the WAL.
+// It is a no-op for in-memory stores.
+func (s *Store) Checkpoint() error {
+	if s.dir == "" {
+		return nil
+	}
+	if err := s.writeSnapshot(filepath.Join(s.dir, snapshotName)); err != nil {
+		return err
+	}
+	return s.wal.reset()
+}
+
+// Close flushes and closes the WAL. The store must not be used after.
+func (s *Store) Close() error {
+	if s.wal != nil {
+		return s.wal.close()
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// File formats.
+//
+// Snapshot (kdb.snap):
+//
+//	magic "KDBSNAP1"
+//	repeat: uvarint record length, record bytes (encodeFact), crc32(record)
+//	written to a temp file and atomically renamed.
+//
+// Write-ahead log (kdb.wal):
+//
+//	magic "KDBWAL01"
+//	repeat: uvarint record length, record bytes (encodeFact), crc32(record)
+//	A torn or corrupt tail is detected by length/CRC and truncated.
+
+const (
+	snapshotName  = "kdb.snap"
+	walName       = "kdb.wal"
+	snapshotMagic = "KDBSNAP1"
+	walMagic      = "KDBWAL01"
+	maxRecordSize = 1 << 24 // 16 MiB sanity bound on a single fact record
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// writeRecord frames one record: uvarint length, payload, crc32.
+func writeRecord(w io.Writer, payload []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(payload, crcTable))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+// errTornRecord marks a truncated or corrupt record tail.
+var errTornRecord = errors.New("storage: torn record")
+
+// readRecord reads one framed record.
+func readRecord(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, errTornRecord
+	}
+	if n > maxRecordSize {
+		return nil, errTornRecord
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, errTornRecord
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return nil, errTornRecord
+	}
+	if binary.BigEndian.Uint32(crc[:]) != crc32.Checksum(payload, crcTable) {
+		return nil, errTornRecord
+	}
+	return payload, nil
+}
+
+// wal is an append-only write-ahead log of fact insertions.
+type wal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	w    *bufio.Writer
+}
+
+// openWAL opens (or creates) the log at path, replaying every valid
+// record through apply. A torn tail is truncated so the next append
+// starts from a clean boundary.
+func openWAL(path string, apply func(pred string, t Tuple) error) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	validEnd, err := replayWAL(f, apply)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(validEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: truncate torn wal: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: seek wal: %w", err)
+	}
+	w := &wal{path: path, f: f, w: bufio.NewWriter(f)}
+	if validEnd == 0 {
+		if _, err := w.w.WriteString(walMagic); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("storage: write wal magic: %w", err)
+		}
+		if err := w.flush(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// replayWAL applies all valid records and returns the offset of the last
+// valid byte (magic included).
+func replayWAL(f *os.File, apply func(string, Tuple) error) (int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if st.Size() == 0 {
+		return 0, nil
+	}
+	r := bufio.NewReader(f)
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != walMagic {
+		return 0, fmt.Errorf("storage: %s is not a kdb WAL", f.Name())
+	}
+	valid := int64(len(walMagic))
+	for {
+		payload, err := readRecord(r)
+		if err == io.EOF {
+			return valid, nil
+		}
+		if err == errTornRecord {
+			return valid, nil // crash tail: keep the valid prefix
+		}
+		if err != nil {
+			return 0, err
+		}
+		pred, tuple, err := decodeFact(payload)
+		if err != nil {
+			return valid, nil // treat undecodable content as torn
+		}
+		if err := apply(pred, tuple); err != nil {
+			return 0, err
+		}
+		valid += int64(uvarintLen(uint64(len(payload)))) + int64(len(payload)) + 4
+	}
+}
+
+func uvarintLen(v uint64) int {
+	var buf [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(buf[:], v)
+}
+
+// append logs one insertion and syncs it to stable storage.
+func (w *wal) append(pred string, t Tuple) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := writeRecord(w.w, encodeFact(pred, t)); err != nil {
+		return err
+	}
+	return w.flushLocked()
+}
+
+func (w *wal) flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushLocked()
+}
+
+func (w *wal) flushLocked() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// reset truncates the log after a successful snapshot.
+func (w *wal) reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.w.Reset(w.f)
+	if _, err := w.w.WriteString(walMagic); err != nil {
+		return err
+	}
+	return w.flushLocked()
+}
+
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// writeSnapshot dumps every relation to a temp file and atomically
+// renames it over the snapshot path.
+func (s *Store) writeSnapshot(path string) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "kdb.snap.tmp*")
+	if err != nil {
+		return fmt.Errorf("storage: snapshot temp: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	if _, err := w.WriteString(snapshotMagic); err != nil {
+		tmp.Close()
+		return err
+	}
+	s.mu.RLock()
+	preds := make([]string, 0, len(s.rels))
+	for p := range s.rels {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+	rels := make(map[string]*Relation, len(s.rels))
+	for p, r := range s.rels {
+		rels[p] = r
+	}
+	s.mu.RUnlock()
+	var werr error
+	for _, p := range preds {
+		rels[p].Scan(func(t Tuple) bool {
+			werr = writeRecord(w, encodeFact(p, t))
+			return werr == nil
+		})
+		if werr != nil {
+			tmp.Close()
+			return werr
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// loadSnapshot populates the store from a snapshot file, if present.
+func (s *Store) loadSnapshot(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: open snapshot: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != snapshotMagic {
+		return fmt.Errorf("storage: %s is not a kdb snapshot", path)
+	}
+	for {
+		payload, err := readRecord(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("storage: corrupt snapshot %s: %w", path, err)
+		}
+		pred, tuple, err := decodeFact(payload)
+		if err != nil {
+			return fmt.Errorf("storage: corrupt snapshot %s: %w", path, err)
+		}
+		if _, err := s.insertLocked(pred, tuple); err != nil {
+			return err
+		}
+	}
+}

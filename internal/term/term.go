@@ -1,0 +1,378 @@
+// Package term implements the first-order term language of the paper
+// "Querying Database Knowledge" (Motro & Yuan, SIGMOD 1990), Section 2.1:
+// constants, variables, atomic formulas (atoms), Horn-clause rules, and
+// positive formulas (conjunctions of atoms), together with substitutions,
+// unification, one-way matching, and variable renaming.
+//
+// The language is function-free (Datalog): the only terms are constants
+// and variables. Following the paper's convention, a variable name begins
+// with an upper-case letter and a symbolic constant with a lower-case
+// letter; numeric and quoted-string constants are also supported because
+// the paper's example database compares grade-point averages.
+package term
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the dynamic type of a Term.
+type Kind uint8
+
+const (
+	// KindVar is a logical variable.
+	KindVar Kind = iota
+	// KindSymbol is an uninterpreted constant such as `databases`.
+	KindSymbol
+	// KindNumber is a numeric constant such as `3.7`.
+	KindNumber
+	// KindString is a quoted string constant such as `"Susan B."`.
+	KindString
+)
+
+// Term is a constant or a variable. Terms are immutable values; two terms
+// are interchangeable exactly when they are == comparable-equal.
+type Term struct {
+	kind Kind
+	// name holds the variable name, symbol text, or string contents.
+	name string
+	// num holds the numeric value when kind == KindNumber.
+	num float64
+}
+
+// Var returns a variable term with the given name. Variable names are
+// nonempty and by convention begin with an upper-case letter or '_',
+// but the constructor does not enforce the convention: the parser does.
+func Var(name string) Term { return Term{kind: KindVar, name: name} }
+
+// Sym returns a symbolic constant.
+func Sym(name string) Term { return Term{kind: KindSymbol, name: name} }
+
+// Num returns a numeric constant.
+func Num(v float64) Term { return Term{kind: KindNumber, num: v} }
+
+// Str returns a string constant.
+func Str(s string) Term { return Term{kind: KindString, name: s} }
+
+// Kind reports the kind of the term.
+func (t Term) Kind() Kind { return t.kind }
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.kind == KindVar }
+
+// IsConst reports whether the term is any constant.
+func (t Term) IsConst() bool { return t.kind != KindVar }
+
+// Name returns the variable name, symbol text, or string contents.
+// It is meaningless for numbers.
+func (t Term) Name() string { return t.name }
+
+// Float returns the numeric value of a KindNumber term.
+func (t Term) Float() float64 { return t.num }
+
+// String renders the term in surface syntax.
+func (t Term) String() string {
+	switch t.kind {
+	case KindVar:
+		return t.name
+	case KindSymbol:
+		return t.name
+	case KindNumber:
+		return strconv.FormatFloat(t.num, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(t.name)
+	default:
+		return fmt.Sprintf("<bad term kind %d>", t.kind)
+	}
+}
+
+// Equal reports whether two terms are identical.
+func (t Term) Equal(u Term) bool { return t == u }
+
+// Compare totally orders terms: variables < symbols < numbers < strings,
+// then by value. The order is arbitrary but deterministic; it is used to
+// canonicalize formulas for set semantics and stable output.
+func (t Term) Compare(u Term) int {
+	if t.kind != u.kind {
+		return int(t.kind) - int(u.kind)
+	}
+	switch t.kind {
+	case KindNumber:
+		switch {
+		case t.num < u.num:
+			return -1
+		case t.num > u.num:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		return strings.Compare(t.name, u.name)
+	}
+}
+
+// Atom is an atomic formula: a predicate symbol applied to a list of
+// argument terms. The empty argument list is permitted (propositional
+// atoms). Atoms are treated as immutable; all transforming operations
+// return fresh atoms.
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// NewAtom constructs an atom. The argument slice is copied so callers may
+// reuse their backing arrays.
+func NewAtom(pred string, args ...Term) Atom {
+	cp := make([]Term, len(args))
+	copy(cp, args)
+	return Atom{Pred: pred, Args: cp}
+}
+
+// Arity returns the number of arguments.
+func (a Atom) Arity() int { return len(a.Args) }
+
+// Functor returns the conventional name/arity identifier, e.g. "student/3".
+func (a Atom) Functor() string { return a.Pred + "/" + strconv.Itoa(len(a.Args)) }
+
+// String renders the atom in surface syntax. Binary comparison atoms are
+// rendered infix, matching the paper's presentation, e.g. `Z > 3.7`.
+func (a Atom) String() string {
+	if len(a.Args) == 2 && IsComparisonPred(a.Pred) {
+		return fmt.Sprintf("%s %s %s", a.Args[0], a.Pred, a.Args[1])
+	}
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	if len(a.Args) == 0 {
+		return b.String()
+	}
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Equal reports structural equality of atoms.
+func (a Atom) Equal(b Atom) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare totally orders atoms by predicate, arity, then arguments.
+func (a Atom) Compare(b Atom) int {
+	if c := strings.Compare(a.Pred, b.Pred); c != 0 {
+		return c
+	}
+	if c := len(a.Args) - len(b.Args); c != 0 {
+		return c
+	}
+	for i := range a.Args {
+		if c := a.Args[i].Compare(b.Args[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// Key returns a string that uniquely identifies the atom's structure.
+// It is suitable as a map key for memoization and duplicate elimination.
+func (a Atom) Key() string {
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	for _, t := range a.Args {
+		b.WriteByte('\x00')
+		b.WriteByte(byte('0' + t.kind))
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+// IsGround reports whether the atom contains no variables.
+func (a Atom) IsGround() bool {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars appends the variables of the atom to dst in order of first
+// occurrence (dst may be nil) and returns the extended slice. Duplicates
+// already present in dst are not re-added.
+func (a Atom) Vars(dst []Term) []Term {
+	for _, t := range a.Args {
+		if t.IsVar() && !containsTerm(dst, t) {
+			dst = append(dst, t)
+		}
+	}
+	return dst
+}
+
+func containsTerm(ts []Term, t Term) bool {
+	for _, u := range ts {
+		if u == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Formula is a positive formula: a conjunction of atoms (paper §2.1).
+// The empty formula is the trivially true body.
+type Formula []Atom
+
+// Vars returns the variables of the formula in order of first occurrence.
+func (f Formula) Vars() []Term {
+	var vs []Term
+	for _, a := range f {
+		vs = a.Vars(vs)
+	}
+	return vs
+}
+
+// String renders the conjunction with the paper's "and" connective.
+func (f Formula) String() string {
+	if len(f) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(f))
+	for i, a := range f {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, " and ")
+}
+
+// Equal reports whether two formulas are identical atom-for-atom
+// (order-sensitive).
+func (f Formula) Equal(g Formula) bool {
+	if len(f) != len(g) {
+		return false
+	}
+	for i := range f {
+		if !f[i].Equal(g[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the formula.
+func (f Formula) Clone() Formula {
+	g := make(Formula, len(f))
+	for i, a := range f {
+		g[i] = NewAtom(a.Pred, a.Args...)
+	}
+	return g
+}
+
+// Key returns a canonical key for the formula as an (ordered) conjunction.
+func (f Formula) Key() string {
+	parts := make([]string, len(f))
+	for i, a := range f {
+		parts[i] = a.Key()
+	}
+	return strings.Join(parts, "\x01")
+}
+
+// SetKey returns a canonical key for the formula as a *set* of atoms:
+// two formulas that differ only in conjunct order or duplication share a
+// SetKey.
+func (f Formula) SetKey() string {
+	parts := make([]string, 0, len(f))
+	seen := make(map[string]bool, len(f))
+	for _, a := range f {
+		k := a.Key()
+		if !seen[k] {
+			seen[k] = true
+			parts = append(parts, k)
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\x01")
+}
+
+// Rule is a Horn clause of the paper's first form: head ← body, where the
+// body is a (possibly empty) positive formula. A rule with an empty body
+// and no variables is a fact.
+type Rule struct {
+	Head Atom
+	Body Formula
+}
+
+// NewRule constructs a rule, copying both head arguments and body.
+func NewRule(head Atom, body ...Atom) Rule {
+	return Rule{Head: NewAtom(head.Pred, head.Args...), Body: Formula(body).Clone()}
+}
+
+// IsFact reports whether the rule is a ground fact.
+func (r Rule) IsFact() bool { return len(r.Body) == 0 && r.Head.IsGround() }
+
+// String renders the rule in surface syntax: `head :- body.` or `head.`.
+func (r Rule) String() string {
+	if len(r.Body) == 0 {
+		return r.Head.String() + "."
+	}
+	parts := make([]string, len(r.Body))
+	for i, a := range r.Body {
+		parts[i] = a.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// Equal reports structural equality of rules (order-sensitive bodies).
+func (r Rule) Equal(s Rule) bool {
+	return r.Head.Equal(s.Head) && r.Body.Equal(s.Body)
+}
+
+// Vars returns all variables of the rule in order of first occurrence,
+// head first.
+func (r Rule) Vars() []Term {
+	vs := r.Head.Vars(nil)
+	for _, a := range r.Body {
+		vs = a.Vars(vs)
+	}
+	return vs
+}
+
+// Key returns a canonical key for the rule.
+func (r Rule) Key() string { return r.Head.Key() + "\x02" + r.Body.Key() }
+
+// Comparison predicate names recognized by the system. These form the set
+// R of built-in predicates in the paper's example database (§2.2).
+const (
+	PredEq = "="
+	PredNe = "!="
+	PredLt = "<"
+	PredLe = "<="
+	PredGt = ">"
+	PredGe = ">="
+)
+
+// IsComparisonPred reports whether pred is one of the built-in binary
+// comparison predicates.
+func IsComparisonPred(pred string) bool {
+	switch pred {
+	case PredEq, PredNe, PredLt, PredLe, PredGt, PredGe:
+		return true
+	}
+	return false
+}
+
+// IsComparison reports whether the atom is a built-in binary comparison.
+func IsComparison(a Atom) bool {
+	return len(a.Args) == 2 && IsComparisonPred(a.Pred)
+}

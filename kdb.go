@@ -1,0 +1,158 @@
+// Package kdb is a knowledge-rich deductive database with a twin query
+// interface, reproducing "Querying Database Knowledge" (Motro & Yuan,
+// SIGMOD 1990):
+//
+//   - retrieve p where ψ — data queries: the paper's §3.1 statement,
+//     evaluated by a choice of naive, semi-naive, tabled top-down, or
+//     magic-sets Datalog engines;
+//   - describe p where ψ — knowledge queries: the paper's §3.2
+//     statement, answered with rules that are logically derived from the
+//     intensional database under the hypothesis ψ, via Algorithm 1
+//     (non-recursive subjects) and Algorithm 2 (recursive subjects,
+//     through the §5.2 rule transformation with tags and typed
+//     substitutions);
+//   - the §6 extensions: `where necessary`, negative hypotheses
+//     (`where not h` — is h necessary?), the subjectless possibility
+//     check, the wildcard subject `describe *`, and `compare` between
+//     two concepts.
+//
+// # Quick start
+//
+//	k := kdb.New()
+//	err := k.LoadString(`
+//	    student(ann, math, 3.9).
+//	    honor(X) :- student(X, M, G), G > 3.7.
+//	`)
+//	res, err := k.ExecString(`retrieve honor(X).`)   // → honor(ann)
+//	res, err = k.ExecString(`describe honor(X).`)    // → honor(X) <- student(X, M, G) and G > 3.7
+//
+// Facts can be made durable with Open (snapshot + write-ahead log with
+// crash recovery). The surface language is documented in the repository
+// README; variables start with an upper-case letter, constants are
+// lower-case symbols, numbers, or quoted strings, and `%` starts a
+// comment.
+package kdb
+
+import (
+	"kdb/internal/catalog"
+	"kdb/internal/core"
+	"kdb/internal/eval"
+	"kdb/internal/kb"
+	"kdb/internal/parser"
+	"kdb/internal/term"
+)
+
+// Core database types.
+type (
+	// KB is a knowledge-rich database: stored facts, rules, and the twin
+	// query machinery. Safe for concurrent use.
+	KB = kb.KB
+	// EngineKind selects the retrieve evaluation strategy.
+	EngineKind = kb.EngineKind
+	// ExecResult is the displayable outcome of executing any query form.
+	ExecResult = kb.ExecResult
+	// DescribeOptions tunes the knowledge-query engine.
+	DescribeOptions = core.Options
+)
+
+// Term-language types.
+type (
+	// Term is a constant or variable.
+	Term = term.Term
+	// Atom is a predicate applied to terms.
+	Atom = term.Atom
+	// Formula is a conjunction of atoms.
+	Formula = term.Formula
+	// Rule is a Horn clause head ← body.
+	Rule = term.Rule
+	// Subst is a substitution over variables.
+	Subst = term.Subst
+)
+
+// Query and answer types.
+type (
+	// Query is any parsed query statement.
+	Query = parser.Query
+	// RetrieveQuery is a parsed data query.
+	RetrieveQuery = parser.Retrieve
+	// DescribeQuery is a parsed knowledge query.
+	DescribeQuery = parser.Describe
+	// CompareQuery is a parsed concept comparison.
+	CompareQuery = parser.Compare
+	// Result is the extensional answer to a retrieve.
+	Result = eval.Result
+	// Answers is the set of rules answering a describe.
+	Answers = core.Answers
+	// Answer is one rule of a knowledge answer.
+	Answer = core.Answer
+	// Necessity answers `describe … where not h`.
+	Necessity = core.Necessity
+	// Possibility answers a subjectless describe.
+	Possibility = core.Possibility
+	// WildcardEntry is one subject of a `describe *` answer.
+	WildcardEntry = core.WildcardEntry
+	// ConceptComparison answers a compare statement.
+	ConceptComparison = core.ConceptComparison
+	// Relation classifies how two concepts relate.
+	Relation = core.Relation
+	// Program is a parsed knowledge-base source.
+	Program = parser.Program
+	// Pred describes a predicate in the catalog.
+	Pred = catalog.Pred
+)
+
+// Retrieve engines.
+const (
+	EngineNaive     = kb.EngineNaive
+	EngineSemiNaive = kb.EngineSemiNaive
+	EngineTopDown   = kb.EngineTopDown
+	EngineMagic     = kb.EngineMagic
+)
+
+// Concept relations (compare statement).
+const (
+	RelUnrelated         = core.RelUnrelated
+	RelOverlapping       = core.RelOverlapping
+	RelLeftSubsumesRight = core.RelLeftSubsumesRight
+	RelRightSubsumesLeft = core.RelRightSubsumesLeft
+	RelEquivalent        = core.RelEquivalent
+)
+
+// New returns an empty in-memory knowledge base.
+func New() *KB { return kb.New() }
+
+// Open returns a knowledge base whose facts persist under dir via a
+// snapshot file and a CRC-checked write-ahead log with crash recovery.
+// Rules are part of the program source; reload them after opening.
+func Open(dir string) (*KB, error) { return kb.Open(dir) }
+
+// ParseProgram parses knowledge-base source text (facts, rules,
+// declarations).
+func ParseProgram(src string) (*Program, error) { return parser.ParseProgram(src) }
+
+// ParseQuery parses one query statement (retrieve / describe / compare).
+func ParseQuery(src string) (Query, error) { return parser.ParseQuery(src) }
+
+// ParseQueries parses a sequence of query statements.
+func ParseQueries(src string) ([]Query, error) { return parser.ParseQueries(src) }
+
+// ParseAtom parses a single atom, e.g. `can_ta(X, databases)`.
+func ParseAtom(src string) (Atom, error) { return parser.ParseAtom(src) }
+
+// ParseFormula parses a conjunction, e.g. `student(X, math, V) and V > 3.7`.
+func ParseFormula(src string) (Formula, error) { return parser.ParseFormula(src) }
+
+// Var returns a logical variable.
+func Var(name string) Term { return term.Var(name) }
+
+// Sym returns a symbolic constant.
+func Sym(name string) Term { return term.Sym(name) }
+
+// Num returns a numeric constant.
+func Num(v float64) Term { return term.Num(v) }
+
+// Str returns a string constant.
+func Str(s string) Term { return term.Str(s) }
+
+// NewAtom constructs an atom.
+func NewAtom(pred string, args ...Term) Atom { return term.NewAtom(pred, args...) }
