@@ -41,19 +41,22 @@ type experiment struct {
 	exact bool
 }
 
+// kbOptions configure every experiment KB (set from the flags).
+var kbOptions []kdb.Option
+
 func universitySetup(dataDir string) (*kdb.KB, error) {
-	k := kdb.New()
+	k := kdb.New(kbOptions...)
 	return k, k.LoadFile(filepath.Join(dataDir, "university.kdb"))
 }
 
 func routesSetup(dataDir string) (*kdb.KB, error) {
-	k := kdb.New()
+	k := kdb.New(kbOptions...)
 	return k, k.LoadFile(filepath.Join(dataDir, "routes.kdb"))
 }
 
 func inlineSetup(src string) func(string) (*kdb.KB, error) {
 	return func(string) (*kdb.KB, error) {
-		k := kdb.New()
+		k := kdb.New(kbOptions...)
 		return k, k.LoadString(src)
 	}
 }
@@ -133,7 +136,7 @@ func experiments() []experiment {
 		},
 		{
 			id: "E8", locus: "§5 Example 8",
-			text:  "describe p(X, Y) where r(a, Y) over the p/q/r/s program — the naive algorithm hangs; Algorithm 2 terminates.",
+			text: "describe p(X, Y) where r(a, Y) over the p/q/r/s program — the naive algorithm hangs; Algorithm 2 terminates.",
 			setup: inlineSetup(`
 p(X, Y) :- q(X, Z), r(Z, Y).
 q(X, Y) :- q(X, Z), s(Z, Y).
@@ -146,7 +149,7 @@ q(X, Y) :- r(X, Y).
 		},
 		{
 			id: "E9", locus: "§1 intro, second example",
-			text:  "\"Must all foreign students be married?\" — a knowledge query, versus the data query \"Are all foreign students married?\"",
+			text: "\"Must all foreign students be married?\" — a knowledge query, versus the data query \"Are all foreign students married?\"",
 			setup: inlineSetup(`
 person(ann, usa, single).
 person(lee, france, married).
@@ -162,7 +165,7 @@ married_required(X) :- foreign(X).
 		},
 		{
 			id: "E10", locus: "§5.3 end / §1 intro sixth example",
-			text:  "\"When x is reachable from y, is it guaranteed that y is also reachable from x?\" — untyped symmetry rule under bounded application.",
+			text: "\"When x is reachable from y, is it guaranteed that y is also reachable from x?\" — untyped symmetry rule under bounded application.",
 			setup: inlineSetup(`
 link(a, b).
 reach(X, Y) :- link(X, Y).
@@ -227,7 +230,7 @@ reach(X, Y) :- reach(Y, X).
 		},
 		{
 			id: "X6", locus: "§1 intro, third example",
-			text:  "\"Could an honor student be foreign?\" — a hypothetical item of knowledge checked for contradiction with the stored knowledge.",
+			text: "\"Could an honor student be foreign?\" — a hypothetical item of knowledge checked for contradiction with the stored knowledge.",
 			setup: inlineSetup(`
 honor(X) :- student2(X, G, N), G > 3.7.
 foreign(X) :- student2(X, G, N), N != usa.
@@ -257,16 +260,19 @@ foreign(X) :- student2(X, G, N), N != usa.
 
 func main() {
 	dataDir := flag.String("data", "testdata", "directory containing the .kdb files")
+	stats := flag.Bool("stats", false, "print evaluation statistics for each experiment's retrieves")
+	parallel := flag.Int("parallel", 1, "bottom-up evaluation workers (0 = GOMAXPROCS)")
 	flag.Parse()
-	os.Exit(run(*dataDir, os.Stdout))
+	kbOptions = []kdb.Option{kdb.WithParallelism(*parallel)}
+	os.Exit(run(*dataDir, *stats, os.Stdout))
 }
 
-func run(dataDir string, out io.Writer) int {
+func run(dataDir string, showStats bool, out io.Writer) int {
 	fmt.Fprintln(out, "kdb-experiments — reproducing the worked examples of Motro & Yuan, SIGMOD 1990")
 	fmt.Fprintln(out)
 	pass, fail := 0, 0
 	for _, e := range experiments() {
-		ok := runOne(e, dataDir, out)
+		ok := runOne(e, dataDir, showStats, out)
 		if ok {
 			pass++
 		} else {
@@ -281,7 +287,7 @@ func run(dataDir string, out io.Writer) int {
 	return 0
 }
 
-func runOne(e experiment, dataDir string, out io.Writer) bool {
+func runOne(e experiment, dataDir string, showStats bool, out io.Writer) bool {
 	fmt.Fprintf(out, "== %s (%s) ==\n", e.id, e.locus)
 	fmt.Fprintf(out, "   %s\n", e.text)
 	fmt.Fprintf(out, "   query:    %s\n", e.query)
@@ -298,6 +304,11 @@ func runOne(e experiment, dataDir string, out io.Writer) bool {
 	measured := strings.Split(res.String(), "\n")
 	printAligned(out, "paper:", e.paper)
 	printAligned(out, "measured:", measured)
+	if showStats {
+		if st := k.LastStats(); st != nil {
+			printAligned(out, "stats:", strings.Split(st.String(), "\n"))
+		}
+	}
 	if e.note != "" {
 		fmt.Fprintf(out, "   note:     %s\n", e.note)
 	}

@@ -9,7 +9,7 @@ import (
 
 func TestAllExperimentsMatch(t *testing.T) {
 	var out bytes.Buffer
-	status := run(filepath.Join("..", "..", "testdata"), &out)
+	status := run(filepath.Join("..", "..", "testdata"), true, &out)
 	if status != 0 {
 		t.Fatalf("experiments failed:\n%s", out.String())
 	}
@@ -71,7 +71,7 @@ func TestSameModuloVars(t *testing.T) {
 
 func TestBadDataDir(t *testing.T) {
 	var out bytes.Buffer
-	if status := run(t.TempDir(), &out); status == 0 {
+	if status := run(t.TempDir(), false, &out); status == 0 {
 		t.Error("missing data must fail")
 	}
 	if !strings.Contains(out.String(), "ERROR") {

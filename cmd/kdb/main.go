@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"kdb"
@@ -32,10 +33,12 @@ func main() {
 func run(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("kdb", flag.ContinueOnError)
 	var (
-		dbDir  = fs.String("db", "", "durable database directory (default: in-memory)")
-		engine = fs.String("engine", "seminaive", "retrieve engine: naive, seminaive, topdown, magic")
-		exec   = fs.String("exec", "", "execute the given queries and exit")
-		quiet  = fs.Bool("q", false, "suppress the banner and prompts")
+		dbDir    = fs.String("db", "", "durable database directory (default: in-memory)")
+		engine   = fs.String("engine", "seminaive", "retrieve engine: naive, seminaive, topdown, magic")
+		exec     = fs.String("exec", "", "execute the given queries and exit")
+		quiet    = fs.Bool("q", false, "suppress the banner and prompts")
+		stats    = fs.Bool("stats", false, "print evaluation statistics after each retrieve")
+		parallel = fs.Int("parallel", 1, "bottom-up evaluation workers (0 = GOMAXPROCS)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -45,17 +48,18 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	var k *kdb.KB
 	var err error
 	if *dbDir != "" {
-		k, err = kdb.Open(*dbDir)
+		k, err = kdb.Open(*dbDir, kdb.WithParallelism(*parallel))
 		if err != nil {
 			return err
 		}
 		defer k.Close()
 	} else {
-		k = kdb.New()
+		k = kdb.New(kdb.WithParallelism(*parallel))
 	}
 	if err := k.SetEngine(kdb.EngineKind(*engine)); err != nil {
 		return err
 	}
+	sh := &shell{k: k, stats: *stats}
 	for _, path := range fs.Args() {
 		if err := k.LoadFile(path); err != nil {
 			return fmt.Errorf("loading %s: %w", path, err)
@@ -71,19 +75,38 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			return err
 		}
 		for _, q := range queries {
+			before := k.LastStats()
 			res, err := k.Exec(q)
 			if err != nil {
 				return err
 			}
 			fmt.Fprintln(out, res)
+			sh.printStats(before, out)
 		}
 		return nil
 	}
 
-	return repl(k, in, out, *quiet)
+	return sh.repl(in, out, *quiet)
 }
 
-func repl(k *kdb.KB, in io.Reader, out io.Writer, quiet bool) error {
+// shell bundles the KB with the REPL's display switches.
+type shell struct {
+	k     *kdb.KB
+	stats bool
+}
+
+// printStats emits the last evaluation record when -stats is on and the
+// statement actually ran an evaluation (detected by pointer change).
+func (sh *shell) printStats(before *kdb.EvalStats, out io.Writer) {
+	if !sh.stats {
+		return
+	}
+	if st := sh.k.LastStats(); st != nil && st != before {
+		fmt.Fprintln(out, "stats:", st)
+	}
+}
+
+func (sh *shell) repl(in io.Reader, out io.Writer, quiet bool) error {
 	if !quiet {
 		fmt.Fprintln(out, "kdb — querying database knowledge (retrieve / describe / compare; .help for help)")
 	}
@@ -108,7 +131,7 @@ func repl(k *kdb.KB, in io.Reader, out io.Writer, quiet bool) error {
 			prompt()
 			continue
 		case buf.Len() == 0 && strings.HasPrefix(line, "."):
-			if quit := metaCommand(k, line, out); quit {
+			if quit := sh.metaCommand(line, out); quit {
 				return nil
 			}
 			prompt()
@@ -119,7 +142,7 @@ func repl(k *kdb.KB, in io.Reader, out io.Writer, quiet bool) error {
 		if strings.HasSuffix(line, ".") {
 			stmt := buf.String()
 			buf.Reset()
-			execute(k, stmt, out)
+			sh.execute(stmt, out)
 		}
 		prompt()
 	}
@@ -128,16 +151,19 @@ func repl(k *kdb.KB, in io.Reader, out io.Writer, quiet bool) error {
 
 // execute runs one statement: a query, or a program fragment (facts and
 // rules are loaded directly, so the shell doubles as a data-entry tool).
-func execute(k *kdb.KB, stmt string, out io.Writer) {
+func (sh *shell) execute(stmt string, out io.Writer) {
+	k := sh.k
 	trimmed := strings.TrimSpace(stmt)
 	for _, kw := range []string{"retrieve", "describe", "compare"} {
 		if strings.HasPrefix(trimmed, kw) {
+			before := k.LastStats()
 			res, err := k.ExecString(stmt)
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				return
 			}
 			fmt.Fprintln(out, res)
+			sh.printStats(before, out)
 			return
 		}
 	}
@@ -148,7 +174,8 @@ func execute(k *kdb.KB, stmt string, out io.Writer) {
 	fmt.Fprintln(out, "ok")
 }
 
-func metaCommand(k *kdb.KB, line string, out io.Writer) (quit bool) {
+func (sh *shell) metaCommand(line string, out io.Writer) (quit bool) {
+	k := sh.k
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case ".quit", ".exit":
@@ -171,6 +198,8 @@ meta commands:
   .preds         list the catalog
   .validate      check the §2.1 recursion discipline
   .engine NAME   switch retrieve engine (naive, seminaive, topdown, magic)
+  .parallel N    bottom-up evaluation workers (0 = GOMAXPROCS)
+  .stats on|off  print evaluation statistics after each retrieve
   .intensional on|off   answer data queries with knowledge attached
   .provenance on|off    show the rules behind each describe answer
   .checkpoint    fold the WAL into a snapshot (durable databases)
@@ -219,6 +248,25 @@ meta commands:
 		} else {
 			fmt.Fprintln(out, "engine:", fields[1])
 		}
+	case ".parallel":
+		if len(fields) != 2 {
+			fmt.Fprintln(out, "usage: .parallel N  (0 = GOMAXPROCS)")
+			return false
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
+		k.SetParallelism(n)
+		fmt.Fprintln(out, "parallelism:", k.Parallelism())
+	case ".stats":
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			fmt.Fprintln(out, "usage: .stats on|off")
+			return false
+		}
+		sh.stats = fields[1] == "on"
+		fmt.Fprintln(out, "stats:", fields[1])
 	case ".intensional":
 		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
 			fmt.Fprintln(out, "usage: .intensional on|off")

@@ -80,16 +80,16 @@ retrieve honor(X).
 	}
 	got := out.String()
 	for _, want := range []string{
-		"ok",                      // fact + rule loads
-		"honor(zoe)",              // retrieve
+		"ok",         // fact + rule loads
+		"honor(zoe)", // retrieve
 		"honor(X) <- student(X, M, G) and G > 3.7", // describe
 		"honor(X) :- student(X, M, G), G > 3.7.",   // .rules
-		"EDB: student/3",          // .preds
-		"ok: rules are disciplined",    // .validate
-		"engine: topdown",         // .engine
-		"unknown engine",          // bad engine
-		"meta commands:",          // .help
-		"unknown command",         // bad meta
+		"EDB: student/3",                           // .preds
+		"ok: rules are disciplined",                // .validate
+		"engine: topdown",                          // .engine
+		"unknown engine",                           // bad engine
+		"meta commands:",                           // .help
+		"unknown command",                          // bad meta
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("session output missing %q:\n%s", want, got)

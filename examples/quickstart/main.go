@@ -37,8 +37,8 @@ honor(X) :- student(X, M, G), G > 3.7.
 
 	queries := []string{
 		// The intro's first pair of English queries:
-		`retrieve honor(X).`,  // "Who are the honor students?"
-		`describe honor(X).`,  // "What does it take to be an honor student?"
+		`retrieve honor(X).`, // "Who are the honor students?"
+		`describe honor(X).`, // "What does it take to be an honor student?"
 		// Knowledge applied to data, as usual:
 		`retrieve honor(X) where enroll(X, databases).`,
 		// A knowledge query with a hypothesis (§3.2): when is a student

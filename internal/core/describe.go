@@ -243,10 +243,10 @@ type node struct {
 
 // search carries the backtracking state of one describe evaluation.
 type search struct {
-	d        *Describer
-	alg2     bool
-	graph    *depgraph.Graph
-	byHead   map[string][]term.Rule
+	d           *Describer
+	alg2        bool
+	graph       *depgraph.Graph
+	byHead      map[string][]term.Rule
 	subject     term.Atom
 	hypOrd      []indexedAtom
 	hypCmp      []indexedAtom

@@ -2,34 +2,114 @@ package eval
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"kdb/internal/storage"
 	"kdb/internal/term"
 )
 
-// derived holds the materialized extensions of IDB predicates during a
-// bottom-up evaluation.
-type derived map[string]*storage.Relation
+// engineConfig carries the tunables shared by the engine constructors.
+type engineConfig struct {
+	workers int
+}
 
-func (d derived) relation(pred string, arity int) *storage.Relation {
-	r, ok := d[pred]
-	if !ok {
-		r = storage.NewRelation(arity)
-		d[pred] = r
+// EngineOption tunes an engine at construction.
+type EngineOption func(*engineConfig)
+
+// WithWorkers sets the SCC worker-pool size of the bottom-up engines
+// (and of the bottom-up core of the magic engine): independent strongly
+// connected components of the rule dependency graph are evaluated
+// concurrently on up to n goroutines. n <= 0 selects GOMAXPROCS; the
+// default is 1, which keeps the evaluation strictly sequential (the
+// correctness baseline). The top-down engine ignores this option.
+func WithWorkers(n int) EngineOption {
+	return func(c *engineConfig) { c.workers = n }
+}
+
+func buildConfig(opts []EngineOption) engineConfig {
+	cfg := engineConfig{workers: 1}
+	for _, o := range opts {
+		o(&cfg)
 	}
+	if cfg.workers <= 0 {
+		cfg.workers = runtime.GOMAXPROCS(0)
+	}
+	return cfg
+}
+
+// derived holds the materialized extensions of IDB predicates during a
+// bottom-up evaluation. The map is guarded by a mutex so independent
+// SCCs can insert and look up concurrently; each relation is internally
+// synchronized by storage.Relation's own lock.
+type derived struct {
+	mu       sync.RWMutex
+	rels     map[string]*storage.Relation
+	counters *storage.Counters // attached to every relation created here
+}
+
+func newDerived(c *storage.Counters) *derived {
+	return &derived{rels: make(map[string]*storage.Relation), counters: c}
+}
+
+// get returns the relation for pred, or nil if no fact for pred has been
+// derived yet.
+func (d *derived) get(pred string) *storage.Relation {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.rels[pred]
+}
+
+func (d *derived) relation(pred string, arity int) *storage.Relation {
+	d.mu.RLock()
+	r, ok := d.rels[pred]
+	d.mu.RUnlock()
+	if ok {
+		return r
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if r, ok := d.rels[pred]; ok {
+		return r
+	}
+	r = storage.NewRelation(arity)
+	if d.counters != nil {
+		r.SetCounters(d.counters)
+	}
+	d.rels[pred] = r
 	return r
 }
 
-func (d derived) insert(a term.Atom) (bool, error) {
+func (d *derived) insert(a term.Atom) (bool, error) {
 	return d.relation(a.Pred, len(a.Args)).Insert(storage.Tuple(a.Args))
 }
 
+// empty reports whether no relation holds any tuple.
+func (d *derived) empty() bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for _, r := range d.rels {
+		if r.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // match resolves an atom against a derived relation.
-func (d derived) match(a term.Atom, base term.Subst, fn func(term.Subst) bool) error {
-	r, ok := d[a.Pred]
-	if !ok {
+func (d *derived) match(a term.Atom, base term.Subst, fn func(term.Subst) bool) error {
+	r := d.get(a.Pred)
+	if r == nil {
 		return nil
 	}
+	return matchRelation(r, a, base, fn)
+}
+
+// matchRelation resolves an atom against one relation, extending base
+// with every successful match.
+func matchRelation(r *storage.Relation, a term.Atom, base term.Subst, fn func(term.Subst) bool) error {
 	if r.Arity() != len(a.Args) {
 		return fmt.Errorf("eval: %s used with arity %d, derived with %d", a.Pred, len(a.Args), r.Arity())
 	}
@@ -43,41 +123,104 @@ func (d derived) match(a term.Atom, base term.Subst, fn func(term.Subst) bool) e
 	})
 }
 
+// matchStoreExcept enumerates the stored tuples of a.Pred, skipping
+// tuples already present in the except relation. It is how a predicate
+// with both derived and stored tuples (the kb layer turns stored facts
+// of rule-defined predicates into bodiless rules, but eval stays robust
+// either way) avoids feeding the same substitution twice.
+func matchStoreExcept(st *storage.Store, a term.Atom, base term.Subst, except *storage.Relation, fn func(term.Subst) bool) error {
+	r := st.Relation(a.Pred)
+	if r == nil {
+		return nil
+	}
+	if r.Arity() != len(a.Args) {
+		return fmt.Errorf("eval: %s used with arity %d, stored with %d", a.Pred, len(a.Args), r.Arity())
+	}
+	suppress := except != nil && except.Arity() == r.Arity()
+	pattern := base.Apply(a)
+	return r.Select(pattern.Args, func(t storage.Tuple) bool {
+		if suppress && except.Contains(t) {
+			return true
+		}
+		ext, ok := term.Match(pattern, term.Atom{Pred: a.Pred, Args: t}, base)
+		if !ok {
+			return true
+		}
+		return fn(ext)
+	})
+}
+
 // bottomUp is the shared driver for the naive and semi-naive engines.
 type bottomUp struct {
-	in       Input
+	in        Input
 	seminaive bool
+	workers   int
+	stats     atomic.Pointer[EvalStats]
 }
 
 // NewNaive returns the naive bottom-up engine: it recomputes every rule
 // against the full extensions until no new fact appears. It is the
 // correctness baseline the optimized engines are tested against.
-func NewNaive(in Input) Engine { return &bottomUp{in: in} }
+func NewNaive(in Input, opts ...EngineOption) Engine {
+	cfg := buildConfig(opts)
+	return &bottomUp{in: in, workers: cfg.workers}
+}
 
 // NewSemiNaive returns the semi-naive bottom-up engine: within each
 // recursive SCC, rules are differentiated on their recursive body atoms
 // so each iteration only joins against the facts new in the previous
-// iteration.
-func NewSemiNaive(in Input) Engine { return &bottomUp{in: in, seminaive: true} }
+// iteration. With WithWorkers(n), independent SCCs are evaluated
+// concurrently.
+func NewSemiNaive(in Input, opts ...EngineOption) Engine {
+	cfg := buildConfig(opts)
+	return &bottomUp{in: in, seminaive: true, workers: cfg.workers}
+}
 
 // Name identifies the engine.
 func (e *bottomUp) Name() string {
+	name := "naive"
 	if e.seminaive {
-		return "seminaive"
+		name = "seminaive"
 	}
-	return "naive"
+	if e.workers > 1 {
+		name += "-par"
+	}
+	return name
 }
 
-// Retrieve evaluates the query bottom-up.
+// LastStats returns the statistics of the most recent Retrieve.
+func (e *bottomUp) LastStats() *EvalStats { return e.stats.Load() }
+
+// Retrieve evaluates the query bottom-up. Components of the dependency
+// graph's condensation are evaluated in dependency order — sequentially,
+// or on a worker pool that runs independent components concurrently.
 func (e *bottomUp) Retrieve(q Query) (*Result, error) {
 	p, err := buildPlan(e.in, q)
 	if err != nil {
 		return nil, err
 	}
-	d := derived{}
+	counters := &storage.Counters{}
+	d := newDerived(counters)
 	relevant := p.relevantPreds()
-	// Evaluate components in dependency order, skipping irrelevant ones.
-	for _, comp := range p.graph.SCCOrder() {
+	// Attach the observability counters to the stored relations this
+	// query can touch, so index builds and probes show up in the stats.
+	for pred := range relevant {
+		if r := e.in.Store.Relation(pred); r != nil {
+			r.SetCounters(counters)
+		}
+	}
+
+	components := p.graph.SCCOrder()
+	stats := &EvalStats{
+		Engine:     e.Name(),
+		Workers:    e.workers,
+		Components: make([]ComponentStats, len(components)),
+	}
+	start := time.Now()
+	evalOne := func(i int) error {
+		comp := components[i]
+		cs := &stats.Components[i]
+		cs.Preds = comp
 		needed := false
 		hasRules := false
 		for _, pred := range comp {
@@ -89,17 +232,70 @@ func (e *bottomUp) Retrieve(q Query) (*Result, error) {
 			}
 		}
 		if !needed || !hasRules {
-			continue
+			cs.Skipped = true
+			return nil
 		}
-		if err := e.evalComponent(p, d, comp); err != nil {
+		t0 := time.Now()
+		err := e.evalComponent(p, d, comp, cs)
+		cs.Wall = time.Since(t0)
+		return err
+	}
+	if e.workers <= 1 {
+		for i := range components {
+			if err := evalOne(i); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if err := runDAG(e.workers, p.graph.SCCDeps(), evalOne); err != nil {
 			return nil, err
 		}
 	}
+	stats.Wall = time.Since(start)
+	for i := range stats.Components {
+		stats.Facts += stats.Components[i].Facts
+		stats.Lookups += stats.Components[i].Lookups
+	}
+	stats.Probes = counters.Probes.Load()
+	stats.Candidates = counters.Candidates.Load()
+	stats.IndexBuilds = counters.IndexBuilds.Load()
+	e.stats.Store(stats)
 	return e.collect(p, d), nil
 }
 
-// evalComponent computes the fixpoint of one SCC's rules.
-func (e *bottomUp) evalComponent(p *plan, d derived, comp []string) error {
+// fullLookup builds the component-local lookup over the union of the
+// derived and stored extensions: derived facts are enumerated first,
+// then stored facts — suppressing the stored tuples already present in
+// the derived relation so no substitution is fed twice.
+func (e *bottomUp) fullLookup(d *derived, cs *ComponentStats) lookup {
+	return func(a term.Atom, base term.Subst, fn func(term.Subst) bool) error {
+		cs.Lookups++
+		rel := d.get(a.Pred)
+		if rel == nil {
+			return e.in.Store.Match(a, base, fn)
+		}
+		stopped := false
+		if err := matchRelation(rel, a, base, func(s term.Subst) bool {
+			if !fn(s) {
+				stopped = true
+				return false
+			}
+			return true
+		}); err != nil {
+			return err
+		}
+		if stopped {
+			return nil
+		}
+		return matchStoreExcept(e.in.Store, a, base, rel, fn)
+	}
+}
+
+// evalComponent computes the fixpoint of one SCC's rules. It runs on a
+// single goroutine; under parallel evaluation the scheduler guarantees
+// every component it depends on has completed, so the only relations
+// that grow during the run are the component's own.
+func (e *bottomUp) evalComponent(p *plan, d *derived, comp []string, cs *ComponentStats) error {
 	inComp := make(map[string]bool, len(comp))
 	for _, pred := range comp {
 		inComp[pred] = true
@@ -116,38 +312,19 @@ func (e *bottomUp) evalComponent(p *plan, d derived, comp []string) error {
 			}
 		}
 	}
-
-	// full lookup: derived facts first, then stored facts. A predicate may
-	// have both (the kb layer turns stored facts of rule-defined predicates
-	// into bodiless rules, but eval stays robust either way); insert-time
-	// deduplication makes the overlap harmless.
-	full := func(a term.Atom, base term.Subst, fn func(term.Subst) bool) error {
-		stopped := false
-		if _, isDerived := d[a.Pred]; isDerived {
-			if err := d.match(a, base, func(s term.Subst) bool {
-				if !fn(s) {
-					stopped = true
-					return false
-				}
-				return true
-			}); err != nil {
-				return err
-			}
-			if stopped {
-				return nil
-			}
-		}
-		return e.in.Store.Match(a, base, fn)
-	}
+	cs.Recursive = recursive
+	full := e.fullLookup(d, cs)
 
 	// First round: apply every rule once against the current state.
-	delta := derived{}
+	delta := newDerived(d.counters)
+	fresh := 0
 	if err := applyRules(rules, full, func(fact term.Atom) error {
-		fresh, err := d.insert(fact)
+		added, err := d.insert(fact)
 		if err != nil {
 			return err
 		}
-		if fresh {
+		if added {
+			fresh++
 			if _, err := delta.insert(fact); err != nil {
 				return err
 			}
@@ -156,32 +333,27 @@ func (e *bottomUp) evalComponent(p *plan, d derived, comp []string) error {
 	}); err != nil {
 		return err
 	}
+	cs.Iterations = 1
+	cs.Facts = fresh
+	cs.DeltaSizes = append(cs.DeltaSizes, fresh)
 	if !recursive {
 		return nil
 	}
 
 	// Iterate to fixpoint.
 	for {
-		if e.seminaive {
-			empty := true
-			for _, r := range delta {
-				if r.Len() > 0 {
-					empty = false
-				}
-			}
-			if empty {
-				return nil
-			}
+		if e.seminaive && delta.empty() {
+			return nil
 		}
-		nextDelta := derived{}
-		grew := false
+		nextDelta := newDerived(d.counters)
+		grew := 0
 		sink := func(fact term.Atom) error {
-			fresh, err := d.insert(fact)
+			added, err := d.insert(fact)
 			if err != nil {
 				return err
 			}
-			if fresh {
-				grew = true
+			if added {
+				grew++
 				if _, err := nextDelta.insert(fact); err != nil {
 					return err
 				}
@@ -197,7 +369,10 @@ func (e *bottomUp) evalComponent(p *plan, d derived, comp []string) error {
 		if err != nil {
 			return err
 		}
-		if !grew {
+		cs.Iterations++
+		cs.Facts += grew
+		cs.DeltaSizes = append(cs.DeltaSizes, grew)
+		if grew == 0 {
 			return nil
 		}
 		delta = nextDelta
@@ -235,7 +410,7 @@ func applyRules(rules []term.Rule, lk lookup, sink func(term.Atom) error) error 
 // body atom is resolved against the delta of the previous iteration. For
 // a rule with k recursive occurrences it evaluates k differentiated
 // variants, pinning occurrence i to the delta.
-func applyRulesSemiNaive(rules []term.Rule, inComp map[string]bool, full lookup, delta derived, sink func(term.Atom) error) error {
+func applyRulesSemiNaive(rules []term.Rule, inComp map[string]bool, full lookup, delta *derived, sink func(term.Atom) error) error {
 	for _, r := range rules {
 		var recIdx []int
 		for i, a := range r.Body {
@@ -274,7 +449,7 @@ func applyRulesSemiNaive(rules []term.Rule, inComp map[string]bool, full lookup,
 
 // solveBodyPinned is solveBody with one body occurrence (by original
 // index) resolved against the delta relations instead of the full ones.
-func solveBodyPinned(body []term.Atom, pin int, full lookup, delta derived, base term.Subst, fn func(term.Subst) bool) (bool, error) {
+func solveBodyPinned(body []term.Atom, pin int, full lookup, delta *derived, base term.Subst, fn func(term.Subst) bool) (bool, error) {
 	type tagged struct {
 		atom   term.Atom
 		pinned bool
@@ -337,10 +512,10 @@ func solveBodyPinned(body []term.Atom, pin int, full lookup, delta derived, base
 }
 
 // collect extracts the result tuples from the derived query relation.
-func (e *bottomUp) collect(p *plan, d derived) *Result {
+func (e *bottomUp) collect(p *plan, d *derived) *Result {
 	res := &Result{Vars: p.vars}
-	r, ok := d[queryPredName]
-	if !ok {
+	r := d.get(queryPredName)
+	if r == nil {
 		return res
 	}
 	r.Scan(func(t storage.Tuple) bool {

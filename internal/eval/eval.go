@@ -294,6 +294,7 @@ func solveBody(body []term.Atom, base term.Subst, lk lookup, fn func(term.Subst)
 func chooseAtom(body []term.Atom, s term.Subst) (int, error) {
 	firstOrdinary := -1
 	firstEq := -1
+	firstStuck := -1
 	for i, a := range body {
 		if !term.IsComparison(a) {
 			if firstOrdinary < 0 {
@@ -318,6 +319,8 @@ func chooseAtom(body []term.Atom, s term.Subst) (int, error) {
 			if firstEq < 0 {
 				firstEq = i
 			}
+		} else if firstStuck < 0 {
+			firstStuck = i // a non-equality comparison with an unbound side
 		}
 	}
 	if firstOrdinary >= 0 {
@@ -326,7 +329,15 @@ func chooseAtom(body []term.Atom, s term.Subst) (int, error) {
 	if firstEq >= 0 {
 		return firstEq, nil
 	}
-	return 0, fmt.Errorf("eval: cannot evaluate %v: unbound comparison", body[0])
+	// Only unevaluable comparisons remain. Report the actual offender
+	// (the first non-equality comparison with an unbound variable, after
+	// applying the substitution so the message shows what is bound), not
+	// blindly body[0].
+	offender := body[0]
+	if firstStuck >= 0 {
+		offender = body[firstStuck]
+	}
+	return 0, fmt.Errorf("eval: cannot evaluate %v: unbound comparison", s.Apply(offender))
 }
 
 // relevantPreds returns the predicates reachable from the query rule,

@@ -48,7 +48,13 @@ func query(t testing.TB, src string) Query {
 }
 
 func engines(in Input) []Engine {
-	return []Engine{NewNaive(in), NewSemiNaive(in), NewTopDown(in)}
+	return []Engine{
+		NewNaive(in),
+		NewSemiNaive(in),
+		NewSemiNaive(in, WithWorkers(4)),
+		NewTopDown(in),
+		NewMagic(in),
+	}
 }
 
 // The paper's example database (§2.2) with a small extension.
@@ -95,8 +101,10 @@ func retrieveAll(t *testing.T, in Input, q Query) map[string][]string {
 		out[e.Name()] = res.Strings()
 	}
 	// All engines must agree.
-	if !reflect.DeepEqual(out["naive"], out["seminaive"]) || !reflect.DeepEqual(out["naive"], out["topdown"]) {
-		t.Fatalf("engines disagree: %v", out)
+	for name, got := range out {
+		if !reflect.DeepEqual(out["naive"], got) {
+			t.Fatalf("engine %s disagrees with naive: %v", name, out)
+		}
 	}
 	return out
 }
@@ -290,8 +298,8 @@ likes(a, b). likes(b, b). likes(c, c).
 
 func TestUnsafeRulesRejected(t *testing.T) {
 	cases := []string{
-		`p(X) :- q(Y).` + "\nq(a).",   // head var unbound
-		`p(X) :- X > 3.` + "\nq(a).",  // comparison var unbound
+		`p(X) :- q(Y).` + "\nq(a).",         // head var unbound
+		`p(X) :- X > 3.` + "\nq(a).",        // comparison var unbound
 		`p(X) :- q(Y), X != Y.` + "\nq(a).", // != does not bind
 	}
 	for _, src := range cases {
@@ -378,6 +386,7 @@ func TestQuickEnginesAgree(t *testing.T) {
 		for _, qs := range queries {
 			q := query(t, qs)
 			var results [][]string
+			var names []string
 			for _, e := range engines(in) {
 				res, err := e.Retrieve(q)
 				if err != nil {
@@ -385,11 +394,14 @@ func TestQuickEnginesAgree(t *testing.T) {
 					return false
 				}
 				results = append(results, res.Strings())
+				names = append(names, e.Name())
 			}
-			if !reflect.DeepEqual(results[0], results[1]) || !reflect.DeepEqual(results[0], results[2]) {
-				t.Logf("seed %d query %s: naive=%v seminaive=%v topdown=%v",
-					seed, qs, results[0], results[1], results[2])
-				return false
+			for i := 1; i < len(results); i++ {
+				if !reflect.DeepEqual(results[0], results[i]) {
+					t.Logf("seed %d query %s: %s=%v but %s=%v",
+						seed, qs, names[0], results[0], names[i], results[i])
+					return false
+				}
 			}
 		}
 		return true
@@ -484,7 +496,7 @@ path(X, Y) :- edge(X, Z), path(Z, Y).
 	return Input{Store: st, Rules: p.Clauses}
 }
 
-func benchEngine(b *testing.B, mk func(Input) Engine, n int, qs string) {
+func benchEngine(b *testing.B, mk func(Input, ...EngineOption) Engine, n int, qs string) {
 	in := chainInput(b, n)
 	q := query(b, qs)
 	e := mk(in)
@@ -497,9 +509,15 @@ func benchEngine(b *testing.B, mk func(Input) Engine, n int, qs string) {
 	}
 }
 
-func BenchmarkRetrieveNaiveChain50(b *testing.B)     { benchEngine(b, NewNaive, 50, `retrieve path(X, Y).`) }
-func BenchmarkRetrieveSemiNaiveChain50(b *testing.B) { benchEngine(b, NewSemiNaive, 50, `retrieve path(X, Y).`) }
-func BenchmarkRetrieveTopDownChain50(b *testing.B)   { benchEngine(b, NewTopDown, 50, `retrieve path(X, Y).`) }
+func BenchmarkRetrieveNaiveChain50(b *testing.B) {
+	benchEngine(b, NewNaive, 50, `retrieve path(X, Y).`)
+}
+func BenchmarkRetrieveSemiNaiveChain50(b *testing.B) {
+	benchEngine(b, NewSemiNaive, 50, `retrieve path(X, Y).`)
+}
+func BenchmarkRetrieveTopDownChain50(b *testing.B) {
+	benchEngine(b, NewTopDown, 50, `retrieve path(X, Y).`)
+}
 
 func BenchmarkRetrieveSemiNaiveChain200(b *testing.B) {
 	benchEngine(b, NewSemiNaive, 200, `retrieve path(X, Y).`)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"kdb/internal/term"
 )
@@ -32,14 +33,24 @@ import (
 
 // magic is the Engine implementation.
 type magic struct {
-	in Input
+	in      Input
+	workers int
+	stats   atomic.Pointer[EvalStats]
 }
 
-// NewMagic returns the magic-sets engine.
-func NewMagic(in Input) Engine { return &magic{in: in} }
+// NewMagic returns the magic-sets engine. WithWorkers is forwarded to
+// the semi-naive engine that evaluates the rewritten program.
+func NewMagic(in Input, opts ...EngineOption) Engine {
+	cfg := buildConfig(opts)
+	return &magic{in: in, workers: cfg.workers}
+}
 
 // Name identifies the engine.
 func (e *magic) Name() string { return "magic" }
+
+// LastStats returns the statistics of the most recent Retrieve (those of
+// the inner semi-naive run over the rewritten program, relabeled).
+func (e *magic) LastStats() *EvalStats { return e.stats.Load() }
 
 // Retrieve rewrites the query and evaluates it bottom-up.
 func (e *magic) Retrieve(q Query) (*Result, error) {
@@ -52,11 +63,18 @@ func (e *magic) Retrieve(q Query) (*Result, error) {
 		return nil, err
 	}
 	inner := Input{Store: e.in.Store, Rules: rewritten}
-	res, err := NewSemiNaive(inner).Retrieve(Query{
+	engine := NewSemiNaive(inner, WithWorkers(e.workers))
+	res, err := engine.Retrieve(Query{
 		Subject: term.NewAtom(queryPred, p.vars...),
 	})
 	if err != nil {
 		return nil, err
+	}
+	if sr, ok := engine.(StatsReporter); ok {
+		if st := sr.LastStats(); st != nil {
+			st.Engine = e.Name()
+			e.stats.Store(st)
+		}
 	}
 	res.Vars = p.vars
 	return res, nil

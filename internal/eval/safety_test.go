@@ -31,7 +31,7 @@ fact(a, 1).
 		src, wantSub string
 	}{
 		{`p(X) :- q(Y).`, "head variable"},
-		{`p(X) :- X > 3, q(X, Y).`, ""},  // X bound by q: safe
+		{`p(X) :- X > 3, q(X, Y).`, ""}, // X bound by q: safe
 		{`p(X) :- q(X), Y > 3.`, "comparison variable"},
 		{`p(X) :- q(X), X != Z.`, "comparison variable"},
 		{`p(X) :- X = Y.`, "head variable"}, // neither side bound

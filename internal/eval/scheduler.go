@@ -1,0 +1,89 @@
+package eval
+
+import "sync"
+
+// runDAG executes one task per node of a dependency DAG on a bounded
+// worker pool. deps[i] lists the nodes that must complete before node i
+// may start (every listed index refers to another node; cycles are the
+// caller's bug and deadlock the schedule — the condensation of a
+// dependency graph is acyclic by construction). All zero-dependency
+// nodes are launched immediately; finishing a node releases the
+// dependents whose remaining in-degree drops to zero.
+//
+// The first task error is returned. Tasks not yet started when an error
+// occurs are skipped (their run is never called), but the schedule still
+// drains so no goroutine leaks.
+func runDAG(workers int, deps [][]int, run func(node int) error) error {
+	n := len(deps)
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	indeg := make([]int, n)
+	dependents := make([][]int, n)
+	for i, ds := range deps {
+		indeg[i] = len(ds)
+		for _, d := range ds {
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+
+	// ready is buffered to n so releases never block: every node enters
+	// the channel exactly once.
+	ready := make(chan int, n)
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		completed int
+	)
+	finish := func(i int) {
+		mu.Lock()
+		completed++
+		for _, d := range dependents[i] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				ready <- d
+			}
+		}
+		if completed == n {
+			close(ready)
+		}
+		mu.Unlock()
+	}
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready <- i
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				mu.Lock()
+				aborted := firstErr != nil
+				mu.Unlock()
+				if !aborted {
+					if err := run(i); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+					}
+				}
+				finish(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

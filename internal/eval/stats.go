@@ -1,0 +1,92 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ComponentStats records the evaluation of one strongly connected
+// component of the rule dependency graph.
+type ComponentStats struct {
+	// Preds are the component's predicates (sorted).
+	Preds []string
+	// Skipped marks components that were irrelevant to the query (or had
+	// no rules) and were not evaluated.
+	Skipped bool
+	// Recursive reports whether the component required fixpoint iteration.
+	Recursive bool
+	// Iterations counts rule-application rounds, the first included.
+	Iterations int
+	// Facts counts the facts newly derived by this component.
+	Facts int
+	// DeltaSizes records, per iteration, how many fresh facts that round
+	// contributed (the size of the next semi-naive delta).
+	DeltaSizes []int
+	// Lookups counts body-atom lookups issued while evaluating the
+	// component (each is one probe of a derived and/or stored relation).
+	Lookups int64
+	// Wall is the component's wall-clock evaluation time.
+	Wall time.Duration
+}
+
+// EvalStats is the observability record of one Retrieve evaluation.
+type EvalStats struct {
+	// Engine names the evaluation strategy that produced the record.
+	Engine string
+	// Workers is the SCC worker-pool size used (1 = sequential).
+	Workers int
+	// Components holds one entry per SCC in dependency order (bottom-up
+	// engines; empty for top-down).
+	Components []ComponentStats
+	// Facts is the total number of facts derived.
+	Facts int
+	// Lookups is the total number of body-atom lookups issued (summed over
+	// components for bottom-up engines).
+	Lookups int64
+	// Passes counts naive-iteration passes (top-down engine only).
+	Passes int
+	// Tables counts call-pattern tables (top-down engine only).
+	Tables int
+	// Probes, Candidates, and IndexBuilds aggregate the storage-level
+	// counters of every relation the evaluation touched: Select calls
+	// served, candidate tuples examined, and hash indexes built.
+	Probes      int64
+	Candidates  int64
+	IndexBuilds int64
+	// Wall is the end-to-end evaluation time.
+	Wall time.Duration
+}
+
+// StatsReporter is implemented by engines that record evaluation
+// statistics. LastStats returns the record of the most recent Retrieve,
+// or nil if none completed yet.
+type StatsReporter interface {
+	LastStats() *EvalStats
+}
+
+// String renders the record as a small report: one summary line followed
+// by one line per evaluated component.
+func (s *EvalStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine=%s workers=%d wall=%s facts=%d lookups=%d probes=%d candidates=%d index-builds=%d",
+		s.Engine, s.Workers, s.Wall.Round(time.Microsecond), s.Facts, s.Lookups, s.Probes, s.Candidates, s.IndexBuilds)
+	if s.Passes > 0 {
+		fmt.Fprintf(&b, " passes=%d tables=%d", s.Passes, s.Tables)
+	}
+	for _, c := range s.Components {
+		if c.Skipped {
+			continue
+		}
+		kind := "nonrec"
+		if c.Recursive {
+			kind = "recursive"
+		}
+		fmt.Fprintf(&b, "\n  scc [%s] %s iters=%d facts=%d lookups=%d wall=%s",
+			strings.Join(c.Preds, " "), kind, c.Iterations, c.Facts, c.Lookups, c.Wall.Round(time.Microsecond))
+		if len(c.DeltaSizes) > 0 {
+			fmt.Fprintf(&b, " delta=%v", c.DeltaSizes)
+		}
+	}
+	return b.String()
+}

@@ -2,6 +2,9 @@ package eval
 
 import (
 	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
 
 	"kdb/internal/storage"
 	"kdb/internal/term"
@@ -14,14 +17,19 @@ import (
 // table grows (naive-iteration tabling). This terminates on all Datalog
 // programs and only ever touches predicates relevant to the goal.
 type topDown struct {
-	in Input
+	in    Input
+	stats atomic.Pointer[EvalStats]
 }
 
-// NewTopDown returns the tabled top-down engine.
-func NewTopDown(in Input) Engine { return &topDown{in: in} }
+// NewTopDown returns the tabled top-down engine. It ignores WithWorkers
+// (tabling shares one answer-table space across the whole resolution).
+func NewTopDown(in Input, opts ...EngineOption) Engine { return &topDown{in: in} }
 
 // Name identifies the engine.
 func (e *topDown) Name() string { return "topdown" }
+
+// LastStats returns the statistics of the most recent Retrieve.
+func (e *topDown) LastStats() *EvalStats { return e.stats.Load() }
 
 // table holds the answers derived so far for one call pattern.
 type table struct {
@@ -36,9 +44,11 @@ type topDownRun struct {
 	graph map[string][]term.Rule
 	rn    term.Renamer
 
-	tables map[string]*table
-	pass   int
-	grew   bool
+	tables   map[string]*table
+	pass     int
+	grew     bool
+	counters *storage.Counters
+	lookups  int64
 }
 
 // Retrieve evaluates the query goal-directed.
@@ -48,14 +58,21 @@ func (e *topDown) Retrieve(q Query) (*Result, error) {
 		return nil, err
 	}
 	run := &topDownRun{
-		in:     e.in,
-		graph:  make(map[string][]term.Rule),
-		tables: make(map[string]*table),
+		in:       e.in,
+		graph:    make(map[string][]term.Rule),
+		tables:   make(map[string]*table),
+		counters: &storage.Counters{},
 	}
 	for _, r := range p.rules {
 		run.graph[r.Head.Pred] = append(run.graph[r.Head.Pred], r)
 	}
+	for pred := range p.relevantPreds() {
+		if r := e.in.Store.Relation(pred); r != nil {
+			r.SetCounters(run.counters)
+		}
+	}
 	goal := p.rule.Head
+	start := time.Now()
 	// Naive-iteration driver: re-run until no table grows.
 	for {
 		run.pass++
@@ -74,12 +91,29 @@ func (e *topDown) Retrieve(q Query) (*Result, error) {
 			return true
 		})
 	}
+	stats := &EvalStats{
+		Engine:  e.Name(),
+		Workers: 1,
+		Passes:  run.pass,
+		Tables:  len(run.tables),
+		Lookups: run.lookups,
+		Wall:    time.Since(start),
+	}
+	for _, t := range run.tables {
+		stats.Facts += t.answers.Len()
+	}
+	stats.Probes = run.counters.Probes.Load()
+	stats.Candidates = run.counters.Candidates.Load()
+	stats.IndexBuilds = run.counters.IndexBuilds.Load()
+	e.stats.Store(stats)
 	return res, nil
 }
 
 // callKey canonicalizes a call: predicate plus the constants at bound
 // positions and the equality pattern of unbound positions. Two calls
-// that differ only in variable names share a table.
+// that differ only in variable names share a table. Variable ids are
+// encoded in delimited decimal — a single '0'+id byte would collide with
+// the marker and separator bytes once ids grow, and wraps at 256.
 func callKey(goal term.Atom) string {
 	names := make(map[term.Term]int)
 	b := []byte(goal.Pred)
@@ -88,7 +122,7 @@ func callKey(goal term.Atom) string {
 		if a.IsConst() {
 			b = append(b, 'c')
 			b = append(b, a.String()...)
-			b = append(b, byte('0'+a.Kind()))
+			b = strconv.AppendInt(b, int64(a.Kind()), 10)
 			continue
 		}
 		id, ok := names[a]
@@ -96,7 +130,8 @@ func callKey(goal term.Atom) string {
 			id = len(names)
 			names[a] = id
 		}
-		b = append(b, 'v', byte('0'+id))
+		b = append(b, 'v')
+		b = strconv.AppendInt(b, int64(id), 10)
 	}
 	return string(b)
 }
@@ -108,6 +143,7 @@ func (r *topDownRun) solveTable(goal term.Atom) error {
 	t, ok := r.tables[key]
 	if !ok {
 		t = &table{answers: storage.NewRelation(len(goal.Args))}
+		t.answers.SetCounters(r.counters)
 		r.tables[key] = t
 	}
 	if t.pass == r.pass {
@@ -150,6 +186,7 @@ func (r *topDownRun) solveTable(goal term.Atom) error {
 // lookup resolves one body atom: EDB predicates via the store, IDB
 // predicates via their (possibly still-growing) tables.
 func (r *topDownRun) lookup(a term.Atom, base term.Subst, fn func(term.Subst) bool) error {
+	r.lookups++
 	rules := r.graph[a.Pred]
 	if len(rules) == 0 {
 		return r.in.Store.Match(a, base, fn)

@@ -9,9 +9,11 @@ package kb
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"kdb/internal/catalog"
 	"kdb/internal/core"
@@ -43,28 +45,51 @@ type KB struct {
 	rules       []term.Rule
 	constraints []term.Formula
 	engine      EngineKind
+	parallelism int
 	opts        core.Options
 	intensional bool
 	provenance  bool
+
+	// lastStats holds the evaluation statistics of the most recent
+	// retrieve (or constraint check), for observability.
+	lastStats atomic.Pointer[eval.EvalStats]
 
 	// describer is rebuilt lazily after each load.
 	describer *core.Describer
 }
 
+// Option configures a KB at construction time.
+type Option func(*KB)
+
+// WithParallelism sets the worker count for bottom-up evaluation: how
+// many independent strata (SCCs of the rule dependency graph) may be
+// evaluated concurrently. n <= 0 selects GOMAXPROCS. The default is 1
+// (sequential evaluation).
+func WithParallelism(n int) Option {
+	return func(k *KB) { k.setParallelism(n) }
+}
+
 // New returns an empty in-memory knowledge base.
-func New() *KB {
-	return &KB{cat: catalog.New(), store: storage.NewMemory(), engine: EngineSemiNaive}
+func New(opts ...Option) *KB {
+	k := &KB{cat: catalog.New(), store: storage.NewMemory(), engine: EngineSemiNaive, parallelism: 1}
+	for _, o := range opts {
+		o(k)
+	}
+	return k
 }
 
 // Open returns a knowledge base whose facts persist under dir (snapshot +
 // write-ahead log). Rules are not persisted by the store; reload them
 // from source (or use LoadFile) after opening.
-func Open(dir string) (*KB, error) {
+func Open(dir string, opts ...Option) (*KB, error) {
 	st, err := storage.Open(dir)
 	if err != nil {
 		return nil, err
 	}
-	k := &KB{cat: catalog.New(), store: st, engine: EngineSemiNaive}
+	k := &KB{cat: catalog.New(), store: st, engine: EngineSemiNaive, parallelism: 1}
+	for _, o := range opts {
+		o(k)
+	}
 	// Register recovered predicates in the catalog.
 	for _, pred := range st.Preds() {
 		if _, err := k.cat.Declare(pred, st.Relation(pred).Arity(), catalog.ClassEDB); err != nil {
@@ -90,6 +115,45 @@ func (k *KB) SetEngine(e EngineKind) error {
 		return nil
 	default:
 		return fmt.Errorf("kb: unknown engine %q", e)
+	}
+}
+
+// SetParallelism sets the bottom-up worker count (see WithParallelism);
+// n <= 0 selects GOMAXPROCS.
+func (k *KB) SetParallelism(n int) {
+	k.mu.Lock()
+	k.setParallelism(n)
+	k.mu.Unlock()
+}
+
+func (k *KB) setParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	k.parallelism = n
+}
+
+// Parallelism returns the configured bottom-up worker count.
+func (k *KB) Parallelism() int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.parallelism
+}
+
+// LastStats returns the evaluation statistics of the most recent
+// retrieve or constraint check, or nil if none has run yet. The pointer
+// changes on every evaluation, so callers can detect fresh stats by
+// comparing pointers.
+func (k *KB) LastStats() *eval.EvalStats {
+	return k.lastStats.Load()
+}
+
+// recordStats captures the engine's statistics after an evaluation.
+func (k *KB) recordStats(e eval.Engine) {
+	if sr, ok := e.(eval.StatsReporter); ok {
+		if st := sr.LastStats(); st != nil {
+			k.lastStats.Store(st)
+		}
 	}
 }
 
@@ -303,6 +367,7 @@ func (k *KB) CheckConstraints() ([]string, error) {
 			out = append(out, fmt.Sprintf("constraint :- %v violated by %v", ic, sub.ApplyFormula(ic)))
 		}
 	}
+	k.recordStats(engine)
 	return out, nil
 }
 
@@ -324,15 +389,16 @@ func (k *KB) Validate() []string {
 // newEngine builds the configured retrieve engine over the current state.
 func (k *KB) newEngine() eval.Engine {
 	in := eval.Input{Store: k.store, Rules: k.rules}
+	w := eval.WithWorkers(k.parallelism)
 	switch k.engine {
 	case EngineNaive:
-		return eval.NewNaive(in)
+		return eval.NewNaive(in, w)
 	case EngineTopDown:
-		return eval.NewTopDown(in)
+		return eval.NewTopDown(in, w)
 	case EngineMagic:
-		return eval.NewMagic(in)
+		return eval.NewMagic(in, w)
 	default:
-		return eval.NewSemiNaive(in)
+		return eval.NewSemiNaive(in, w)
 	}
 }
 
@@ -340,7 +406,13 @@ func (k *KB) newEngine() eval.Engine {
 func (k *KB) Retrieve(subject term.Atom, where term.Formula) (*eval.Result, error) {
 	k.mu.RLock()
 	defer k.mu.RUnlock()
-	return k.newEngine().Retrieve(eval.Query{Subject: subject, Where: where})
+	engine := k.newEngine()
+	res, err := engine.Retrieve(eval.Query{Subject: subject, Where: where})
+	if err != nil {
+		return nil, err
+	}
+	k.recordStats(engine)
+	return res, nil
 }
 
 // RetrieveOr evaluates a data query with a disjunctive qualifier
@@ -371,6 +443,7 @@ func (k *KB) RetrieveOr(subject term.Atom, disjuncts []term.Formula) (*eval.Resu
 			}
 		}
 	}
+	k.recordStats(engine)
 	return merged, nil
 }
 

@@ -178,10 +178,10 @@ deans_list(X) :- student(X, M, G), G > 3.9.
 func TestExecErrors(t *testing.T) {
 	k := loadKB(t, universityKB)
 	for _, q := range []string{
-		`describe student(X, Y, Z).`,                 // EDB subject
-		`describe * where not honor(X).`,             // not in wildcard
-		`describe where not honor(X).`,               // not in subjectless
-		`retrieve student(X, Y, Z) where X = Y.`,     // var = var qualifier
+		`describe student(X, Y, Z).`,             // EDB subject
+		`describe * where not honor(X).`,         // not in wildcard
+		`describe where not honor(X).`,           // not in subjectless
+		`retrieve student(X, Y, Z) where X = Y.`, // var = var qualifier
 	} {
 		if _, err := k.ExecString(q); err == nil {
 			t.Errorf("ExecString(%q) succeeded, want error", q)
@@ -250,9 +250,9 @@ func TestIncrementalLoadPromotesPredicate(t *testing.T) {
 
 func TestLoadErrors(t *testing.T) {
 	cases := []string{
-		`student(a). student(a, b).`,       // arity conflict
+		`student(a). student(a, b).`,           // arity conflict
 		`p(X) :- q(X). q(a, b). q(c) :- p(c).`, // q arity conflict
-		`@key student/3 1. student(a, b).`, // @key arity conflict
+		`@key student/3 1. student(a, b).`,     // @key arity conflict
 	}
 	for _, src := range cases {
 		k := New()

@@ -1,0 +1,124 @@
+package kb
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"kdb/internal/term"
+)
+
+func TestWithParallelism(t *testing.T) {
+	k := New(WithParallelism(4))
+	if got := k.Parallelism(); got != 4 {
+		t.Errorf("Parallelism() = %d, want 4", got)
+	}
+	k.SetParallelism(2)
+	if got := k.Parallelism(); got != 2 {
+		t.Errorf("after SetParallelism(2): %d", got)
+	}
+	// n <= 0 selects GOMAXPROCS.
+	k.SetParallelism(0)
+	if got := k.Parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("SetParallelism(0) → %d, want GOMAXPROCS (%d)", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New().Parallelism(); got != 1 {
+		t.Errorf("default parallelism = %d, want 1", got)
+	}
+}
+
+func TestLastStatsAfterRetrieve(t *testing.T) {
+	k := loadKB(t, universityKB)
+	if k.LastStats() != nil {
+		t.Fatal("stats must be nil before any retrieve")
+	}
+	res, err := k.Retrieve(term.NewAtom("prior", term.Var("X"), term.Var("Y")), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := k.LastStats()
+	if st == nil {
+		t.Fatal("no stats after retrieve")
+	}
+	if st.Engine != "seminaive" || st.Workers != 1 {
+		t.Errorf("engine=%q workers=%d", st.Engine, st.Workers)
+	}
+	if st.Facts == 0 || st.Probes == 0 {
+		t.Errorf("counters empty: %+v", st)
+	}
+	// The prior SCC is recursive: its iteration trail must be recorded.
+	found := false
+	for _, c := range st.Components {
+		if c.Skipped {
+			continue
+		}
+		for _, p := range c.Preds {
+			if p == "prior" {
+				found = true
+				if !c.Recursive || c.Iterations < 2 {
+					t.Errorf("prior component: %+v", c)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("prior component missing from stats: %+v", st.Components)
+	}
+	// Pointer freshness: a new retrieve stores a new record.
+	if _, err := k.Retrieve(term.NewAtom("honor", term.Var("X")), nil); err != nil {
+		t.Fatal(err)
+	}
+	if k.LastStats() == st {
+		t.Error("LastStats must change after another retrieve")
+	}
+	_ = res
+}
+
+func TestLastStatsPerEngine(t *testing.T) {
+	for _, ek := range []EngineKind{EngineNaive, EngineSemiNaive, EngineTopDown, EngineMagic} {
+		k := loadKB(t, universityKB)
+		if err := k.SetEngine(ek); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.Retrieve(term.NewAtom("can_ta", term.Var("X"), term.Sym("databases")), nil); err != nil {
+			t.Fatalf("%s: %v", ek, err)
+		}
+		st := k.LastStats()
+		if st == nil {
+			t.Fatalf("%s: no stats", ek)
+		}
+		if st.Engine != string(ek) {
+			t.Errorf("stats engine = %q, want %q", st.Engine, ek)
+		}
+	}
+}
+
+func TestParallelKBAgreesWithSequential(t *testing.T) {
+	seq := loadKB(t, universityKB)
+	par := loadKB(t, universityKB)
+	par.SetParallelism(8)
+	for _, q := range []string{
+		`retrieve prior(X, Y).`,
+		`retrieve can_ta(X, databases).`,
+		`retrieve honor(X) where enroll(X, databases).`,
+	} {
+		if a, b := execStr(t, seq, q), execStr(t, par, q); !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: sequential %q != parallel %q", q, a, b)
+		}
+	}
+	st := par.LastStats()
+	if st == nil || st.Workers != 8 || !strings.HasSuffix(st.Engine, "-par") {
+		t.Errorf("parallel stats: %+v", st)
+	}
+}
+
+func TestCheckConstraintsRecordsStats(t *testing.T) {
+	k := loadKB(t, universityKB+"\n:- honor(X), student(X, cs, G).\n")
+	if _, err := k.CheckConstraints(); err != nil {
+		t.Fatal(err)
+	}
+	if k.LastStats() == nil {
+		t.Error("constraint checking must record stats")
+	}
+}

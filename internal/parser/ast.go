@@ -11,7 +11,7 @@ import (
 // (facts and rules), integrity constraints, and declarations, in source
 // order.
 type Program struct {
-	Clauses      []term.Rule
+	Clauses []term.Rule
 	// Constraints are the paper's second Horn-clause form, ¬(p1 ∧ … ∧ pn),
 	// written as a headless clause `:- p1, …, pn.`: the conjunction must
 	// never hold.

@@ -24,21 +24,21 @@ type TokenKind uint8
 
 // Token kinds.
 const (
-	TokEOF TokenKind = iota
-	TokIdent            // lower-case identifier: predicate or symbol
-	TokVariable         // upper-case or underscore identifier
-	TokNumber           // numeric literal
-	TokString           // double-quoted string literal
-	TokLParen           // (
-	TokRParen           // )
-	TokComma            // ,
-	TokDot              // .
-	TokColonDash        // :-
-	TokAt               // @
-	TokStar             // *
-	TokSlash            // /
-	TokOp               // comparison operator: = != < <= > >=
-	TokKeyword          // reserved word
+	TokEOF       TokenKind = iota
+	TokIdent               // lower-case identifier: predicate or symbol
+	TokVariable            // upper-case or underscore identifier
+	TokNumber              // numeric literal
+	TokString              // double-quoted string literal
+	TokLParen              // (
+	TokRParen              // )
+	TokComma               // ,
+	TokDot                 // .
+	TokColonDash           // :-
+	TokAt                  // @
+	TokStar                // *
+	TokSlash               // /
+	TokOp                  // comparison operator: = != < <= > >=
+	TokKeyword             // reserved word
 )
 
 var kindNames = map[TokenKind]string{

@@ -308,17 +308,17 @@ func TestParseAtomAndFormula(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	cases := []string{
-		`student(ann, math, 3.9)`,              // missing dot
-		`:- p(X).`,                             // missing head
-		`X > 3 :- p(X).`,                       // comparison head
-		`retrieve X > 3.`,                      // comparison subject (lexes as retrieve X > 3.0 missing dot… still error)
-		`retrieve honor(X) where not p(X).`,    // not in retrieve
-		`describe honor(X) where p(X) q(X).`,   // missing and
-		`compare describe honor(X) with (describe h(X)).`, // missing parens
+		`student(ann, math, 3.9)`,                               // missing dot
+		`:- p(X).`,                                              // missing head
+		`X > 3 :- p(X).`,                                        // comparison head
+		`retrieve X > 3.`,                                       // comparison subject (lexes as retrieve X > 3.0 missing dot… still error)
+		`retrieve honor(X) where not p(X).`,                     // not in retrieve
+		`describe honor(X) where p(X) q(X).`,                    // missing and
+		`compare describe honor(X) with (describe h(X)).`,       // missing parens
 		`compare (describe * where p(X)) with (describe h(X)).`, // wildcard in compare
-		`flarb honor(X).`,                      // unknown statement
-		`retrieve honor(X) where true and.`,    // dangling and
-		`p(X) :- .`,                            // empty body
+		`flarb honor(X).`,                                       // unknown statement
+		`retrieve honor(X) where true and.`,                     // dangling and
+		`p(X) :- .`,                                             // empty body
 	}
 	for _, bad := range cases {
 		if _, err := ParseQuery(bad); err == nil {

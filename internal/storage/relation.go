@@ -8,6 +8,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"kdb/internal/term"
 )
@@ -31,6 +32,20 @@ func (t Tuple) Clone() Tuple {
 	return c
 }
 
+// Counters is the optional observability hook of a Relation: a set of
+// monotonically increasing atomic counters an evaluation layer can attach
+// to the relations it touches. All fields are safe for concurrent use.
+type Counters struct {
+	// Probes counts Select calls served by the relation.
+	Probes atomic.Int64
+	// Candidates counts candidate tuples examined while serving probes
+	// (after index narrowing, before the final pattern check).
+	Candidates atomic.Int64
+	// IndexBuilds counts hash indexes built on first use of a bound-column
+	// mask.
+	IndexBuilds atomic.Int64
+}
+
 // Relation is the stored extension of one predicate: a duplicate-free set
 // of tuples with lazily built hash indexes. All methods are safe for
 // concurrent use.
@@ -45,6 +60,9 @@ type Relation struct {
 	// bound column values → indices of matching tuples. Indexes are built
 	// on first use for a mask and maintained incrementally afterwards.
 	indexes map[uint64]map[string][]int
+	// counters, when set, receives observability events. Attaching is
+	// last-writer-wins: counts accrue to the most recently attached sink.
+	counters atomic.Pointer[Counters]
 }
 
 // NewRelation returns an empty relation of the given arity.
@@ -61,6 +79,13 @@ func NewRelation(arity int) *Relation {
 
 // Arity returns the relation's arity.
 func (r *Relation) Arity() int { return r.arity }
+
+// SetCounters attaches (or, with nil, detaches) an observability sink.
+// Probe, candidate, and index-build events are counted into it from then
+// on. Counters are advisory: attaching is atomic and race-free, but when
+// several evaluations share a relation the counts accrue to whichever
+// sink was attached last.
+func (r *Relation) SetCounters(c *Counters) { r.counters.Store(c) }
 
 // Len returns the number of stored tuples.
 func (r *Relation) Len() int {
@@ -137,10 +162,19 @@ func (r *Relation) Select(pattern []term.Term, fn func(Tuple) bool) error {
 		}
 	}
 	if mask == 0 {
-		r.scanMatching(pattern, r.snapshotAll(), fn)
+		all := r.snapshotAll()
+		if c := r.counters.Load(); c != nil {
+			c.Probes.Add(1)
+			c.Candidates.Add(int64(len(all)))
+		}
+		r.scanMatching(pattern, all, fn)
 		return nil
 	}
 	idxs := r.lookup(mask, pattern)
+	if c := r.counters.Load(); c != nil {
+		c.Probes.Add(1)
+		c.Candidates.Add(int64(len(idxs)))
+	}
 	r.mu.RLock()
 	tuples := r.tuples
 	r.mu.RUnlock()
@@ -187,6 +221,9 @@ func (r *Relation) lookup(mask uint64, pattern []term.Term) []int {
 				index[k] = append(index[k], i)
 			}
 			r.indexes[mask] = index
+			if c := r.counters.Load(); c != nil {
+				c.IndexBuilds.Add(1)
+			}
 		}
 		r.mu.Unlock()
 	}

@@ -553,7 +553,7 @@ func TestQuickSortStability(t *testing.T) {
 		}
 		a := append([]Atom(nil), atoms...)
 		b := append([]Atom(nil), atoms...)
-		rand.New(rand.NewSource(seed + 1)).Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+		rand.New(rand.NewSource(seed+1)).Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
 		sort.Slice(a, func(i, j int) bool { return a[i].Compare(a[j]) < 0 })
 		sort.Slice(b, func(i, j int) bool { return b[i].Compare(b[j]) < 0 })
 		for i := range a {

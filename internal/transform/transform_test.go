@@ -88,7 +88,8 @@ func TestModifiedTransformationMapping(t *testing.T) {
 	tr := res.ByPred["prior"]
 	// t(a, b) ≡ prior(b, a): mapping [1, 0].
 	if !reflect.DeepEqual(tr.StepToPred, []int{1, 0}) {
-		t.Fatalf("StepToPred = %v, want [1 0]", tr.StepToPred)	}
+		t.Fatalf("StepToPred = %v, want [1 0]", tr.StepToPred)
+	}
 	// RewriteStepAtom yields the paper's preferred rendering for Ex. 6:
 	// t(databases, X) → prior(X, databases).
 	got, ok := res.RewriteStepAtom(term.NewAtom("prior_step", term.Sym("databases"), term.Var("X")))

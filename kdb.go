@@ -53,6 +53,14 @@ type (
 	ExecResult = kb.ExecResult
 	// DescribeOptions tunes the knowledge-query engine.
 	DescribeOptions = core.Options
+	// Option configures a KB at construction time (New / Open).
+	Option = kb.Option
+	// EvalStats is the observability record of one retrieve evaluation:
+	// per-SCC fixpoint iterations, facts derived, delta sizes, lookup and
+	// probe counts, and wall times. See KB.LastStats.
+	EvalStats = eval.EvalStats
+	// ComponentStats records the evaluation of one SCC of the rule graph.
+	ComponentStats = eval.ComponentStats
 )
 
 // Term-language types.
@@ -119,12 +127,17 @@ const (
 )
 
 // New returns an empty in-memory knowledge base.
-func New() *KB { return kb.New() }
+func New(opts ...Option) *KB { return kb.New(opts...) }
 
 // Open returns a knowledge base whose facts persist under dir via a
 // snapshot file and a CRC-checked write-ahead log with crash recovery.
 // Rules are part of the program source; reload them after opening.
-func Open(dir string) (*KB, error) { return kb.Open(dir) }
+func Open(dir string, opts ...Option) (*KB, error) { return kb.Open(dir, opts...) }
+
+// WithParallelism sets how many independent strata (SCCs of the rule
+// dependency graph) the bottom-up engines may evaluate concurrently.
+// n <= 0 selects GOMAXPROCS; the default is 1 (sequential).
+func WithParallelism(n int) Option { return kb.WithParallelism(n) }
 
 // ParseProgram parses knowledge-base source text (facts, rules,
 // declarations).
