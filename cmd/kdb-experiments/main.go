@@ -262,8 +262,12 @@ func main() {
 	dataDir := flag.String("data", "testdata", "directory containing the .kdb files")
 	stats := flag.Bool("stats", false, "print evaluation statistics for each experiment's retrieves")
 	parallel := flag.Int("parallel", 1, "bottom-up evaluation workers (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "per-query wall-time limit (0 = unlimited); a breaching experiment reports ERROR and the sweep continues")
 	flag.Parse()
-	kbOptions = []kdb.Option{kdb.WithParallelism(*parallel)}
+	kbOptions = []kdb.Option{
+		kdb.WithParallelism(*parallel),
+		kdb.WithQueryLimits(kdb.QueryLimits{MaxWall: *timeout}),
+	}
 	os.Exit(run(*dataDir, *stats, os.Stdout))
 }
 

@@ -13,12 +13,15 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 
 	"kdb"
 )
@@ -39,27 +42,44 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		quiet    = fs.Bool("q", false, "suppress the banner and prompts")
 		stats    = fs.Bool("stats", false, "print evaluation statistics after each retrieve")
 		parallel = fs.Int("parallel", 1, "bottom-up evaluation workers (0 = GOMAXPROCS)")
+		timeout  = fs.Duration("timeout", 0, "per-query wall-time limit (0 = unlimited)")
+		maxFacts = fs.Int("max-facts", 0, "per-query derived-fact limit (0 = unlimited)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	opts := []kdb.Option{
+		kdb.WithParallelism(*parallel),
+		kdb.WithQueryLimits(kdb.QueryLimits{MaxWall: *timeout, MaxFacts: *maxFacts}),
+	}
 	var k *kdb.KB
 	var err error
 	if *dbDir != "" {
-		k, err = kdb.Open(*dbDir, kdb.WithParallelism(*parallel))
+		k, err = kdb.Open(*dbDir, opts...)
 		if err != nil {
 			return err
 		}
 		defer k.Close()
 	} else {
-		k = kdb.New(kdb.WithParallelism(*parallel))
+		k = kdb.New(opts...)
 	}
 	if err := k.SetEngine(kdb.EngineKind(*engine)); err != nil {
 		return err
 	}
 	sh := &shell{k: k, stats: *stats}
+
+	// Ctrl-C cancels the in-flight query instead of killing the process;
+	// at an idle prompt it prints a hint.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	defer func() { signal.Stop(sigc); close(sigc) }()
+	go func() {
+		for range sigc {
+			sh.interrupt(out)
+		}
+	}()
 	for _, path := range fs.Args() {
 		if err := k.LoadFile(path); err != nil {
 			return fmt.Errorf("loading %s: %w", path, err)
@@ -76,7 +96,9 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		}
 		for _, q := range queries {
 			before := k.LastStats()
-			res, err := k.Exec(q)
+			ctx, done := sh.queryContext()
+			res, err := k.ExecContext(ctx, q)
+			done()
 			if err != nil {
 				return err
 			}
@@ -89,10 +111,41 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	return sh.repl(in, out, *quiet)
 }
 
-// shell bundles the KB with the REPL's display switches.
+// shell bundles the KB with the REPL's display switches and the
+// cancellation handle of the in-flight query.
 type shell struct {
 	k     *kdb.KB
 	stats bool
+
+	mu     sync.Mutex
+	cancel context.CancelFunc
+}
+
+// queryContext registers a cancelable context for one query. The
+// returned done func unregisters it and releases the context.
+func (sh *shell) queryContext() (context.Context, func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sh.mu.Lock()
+	sh.cancel = cancel
+	sh.mu.Unlock()
+	return ctx, func() {
+		sh.mu.Lock()
+		sh.cancel = nil
+		sh.mu.Unlock()
+		cancel()
+	}
+}
+
+// interrupt cancels the in-flight query, if any.
+func (sh *shell) interrupt(out io.Writer) {
+	sh.mu.Lock()
+	cancel := sh.cancel
+	sh.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		return
+	}
+	fmt.Fprintln(out, "\ninterrupt: no query in flight (.quit to leave)")
 }
 
 // printStats emits the last evaluation record when -stats is on and the
@@ -157,9 +210,12 @@ func (sh *shell) execute(stmt string, out io.Writer) {
 	for _, kw := range []string{"retrieve", "describe", "compare"} {
 		if strings.HasPrefix(trimmed, kw) {
 			before := k.LastStats()
-			res, err := k.ExecString(stmt)
+			ctx, done := sh.queryContext()
+			res, err := k.ExecStringContext(ctx, stmt)
+			done()
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
+				sh.printStats(before, out)
 				return
 			}
 			fmt.Fprintln(out, res)

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"kdb/internal/builtin"
 	"kdb/internal/depgraph"
+	"kdb/internal/governor"
 	"kdb/internal/term"
 	"kdb/internal/transform"
 )
@@ -133,6 +135,25 @@ func (d *Describer) TransformedRules() []term.Rule { return d.trans.Rules }
 // Algorithm 1 runs over the original rules; otherwise Algorithm 2 runs
 // over the transformed rules with tags and typed substitutions.
 func (d *Describer) Describe(subject term.Atom, hypothesis term.Formula) (*Answers, error) {
+	return d.DescribeContext(context.Background(), subject, hypothesis, governor.Limits{})
+}
+
+// DescribeContext is Describe under a query governor: the search checks
+// the context cooperatively (amortized, once per tick interval of search
+// steps) and limits.MaxDescribeNodes bounds the steps of the search as a
+// hard error — unlike Options.MaxNodes, which truncates and returns the
+// answers found so far. A breach surfaces as an errors.Is/As-able error
+// (governor.ErrCanceled, context.DeadlineExceeded, *governor.LimitError);
+// an internal panic is contained as a *governor.PanicError.
+func (d *Describer) DescribeContext(ctx context.Context, subject term.Atom, hypothesis term.Formula, limits governor.Limits) (ans *Answers, err error) {
+	defer governor.Recover(&err)
+	gov, cancel := governor.New(ctx, limits)
+	defer cancel()
+	return d.describe(gov, subject, hypothesis)
+}
+
+// describe runs one governed describe search.
+func (d *Describer) describe(gov *governor.Governor, subject term.Atom, hypothesis term.Formula) (*Answers, error) {
 	if term.IsComparison(subject) {
 		return nil, fmt.Errorf("core: the subject of describe cannot be a comparison")
 	}
@@ -168,6 +189,7 @@ func (d *Describer) Describe(subject term.Atom, hypothesis term.Formula) (*Answe
 
 	s := &search{
 		d:           d,
+		gov:         gov,
 		alg2:        alg2,
 		graph:       g,
 		subject:     subject,
@@ -244,6 +266,7 @@ type node struct {
 // search carries the backtracking state of one describe evaluation.
 type search struct {
 	d           *Describer
+	gov         *governor.Governor
 	alg2        bool
 	graph       *depgraph.Graph
 	byHead      map[string][]term.Rule
@@ -358,6 +381,15 @@ func (s *search) step(agenda []node, sigma term.Subst) error {
 		return nil
 	}
 	s.nodes++
+	// Node expansion is heavyweight, so consult the context on every
+	// node (not amortized): small searches must still observe a
+	// cancellation promptly.
+	if err := s.gov.Err(); err != nil {
+		return err
+	}
+	if err := s.gov.CheckDescribeNodes(s.nodes); err != nil {
+		return err
+	}
 	if s.nodes > s.d.opts.MaxNodes || len(s.answers) >= s.d.opts.MaxAnswers {
 		s.truncated = true
 		return nil

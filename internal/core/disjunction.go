@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
+	"kdb/internal/governor"
 	"kdb/internal/term"
 )
 
@@ -17,11 +19,26 @@ import (
 // (⊥ ∨ ψ ≡ ψ); if every disjunct contradicts, the special contradiction
 // answer is returned.
 func (d *Describer) DescribeOr(subject term.Atom, disjuncts []term.Formula) (*Answers, error) {
+	return d.DescribeOrContext(context.Background(), subject, disjuncts, governor.Limits{})
+}
+
+// DescribeOrContext is DescribeOr under a query governor: one governor
+// (context, deadline) spans all disjunct searches, while
+// limits.MaxDescribeNodes bounds the steps of each disjunct's search
+// individually.
+func (d *Describer) DescribeOrContext(ctx context.Context, subject term.Atom, disjuncts []term.Formula, limits governor.Limits) (ans *Answers, err error) {
+	defer governor.Recover(&err)
+	gov, cancel := governor.New(ctx, limits)
+	defer cancel()
+	return d.describeOr(gov, subject, disjuncts)
+}
+
+func (d *Describer) describeOr(gov *governor.Governor, subject term.Atom, disjuncts []term.Formula) (*Answers, error) {
 	if len(disjuncts) == 0 {
-		return d.Describe(subject, nil)
+		return d.describe(gov, subject, nil)
 	}
 	if len(disjuncts) == 1 {
-		return d.Describe(subject, disjuncts[0])
+		return d.describe(gov, subject, disjuncts[0])
 	}
 	if err := validateDisjuncts(disjuncts); err != nil {
 		return nil, err
@@ -43,7 +60,7 @@ func (d *Describer) DescribeOr(subject term.Atom, disjuncts []term.Formula) (*An
 	contradictions := 0
 	truncated := false
 	for _, dis := range disjuncts {
-		ans, err := d.Describe(subject, dis)
+		ans, err := d.describe(gov, subject, dis)
 		if err != nil {
 			return nil, err
 		}

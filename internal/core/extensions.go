@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"kdb/internal/governor"
 	"kdb/internal/term"
 )
 
@@ -15,7 +17,13 @@ import (
 // ordinary conjuncts by identification, comparisons by eliminating a body
 // comparison.
 func (d *Describer) DescribeNecessary(subject term.Atom, hypothesis term.Formula) (*Answers, error) {
-	ans, err := d.Describe(subject, hypothesis)
+	return d.DescribeNecessaryContext(context.Background(), subject, hypothesis, governor.Limits{})
+}
+
+// DescribeNecessaryContext is DescribeNecessary under a query governor
+// (see DescribeContext).
+func (d *Describer) DescribeNecessaryContext(ctx context.Context, subject term.Atom, hypothesis term.Formula, limits governor.Limits) (*Answers, error) {
+	ans, err := d.DescribeContext(ctx, subject, hypothesis, limits)
 	if err != nil {
 		return nil, err
 	}

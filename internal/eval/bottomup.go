@@ -1,12 +1,14 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"kdb/internal/governor"
 	"kdb/internal/storage"
 	"kdb/internal/term"
 )
@@ -14,6 +16,7 @@ import (
 // engineConfig carries the tunables shared by the engine constructors.
 type engineConfig struct {
 	workers int
+	limits  governor.Limits
 }
 
 // EngineOption tunes an engine at construction.
@@ -29,6 +32,14 @@ func WithWorkers(n int) EngineOption {
 	return func(c *engineConfig) { c.workers = n }
 }
 
+// WithLimits sets the per-query resource limits the engine's governor
+// enforces on every evaluation (Retrieve delegates to RetrieveContext
+// with a background context). The zero value of each field means
+// unlimited.
+func WithLimits(l governor.Limits) EngineOption {
+	return func(c *engineConfig) { c.limits = l }
+}
+
 func buildConfig(opts []EngineOption) engineConfig {
 	cfg := engineConfig{workers: 1}
 	for _, o := range opts {
@@ -38,6 +49,21 @@ func buildConfig(opts []EngineOption) engineConfig {
 		cfg.workers = runtime.GOMAXPROCS(0)
 	}
 	return cfg
+}
+
+// finishStats finalizes a stats record after the component loop: wall
+// time, per-component sums, storage counters, and — for a governed
+// stop — the stop reason.
+func finishStats(stats *EvalStats, start time.Time, counters *storage.Counters, err error) {
+	stats.Wall = time.Since(start)
+	for i := range stats.Components {
+		stats.Facts += stats.Components[i].Facts
+		stats.Lookups += stats.Components[i].Lookups
+	}
+	stats.Probes = counters.Probes.Load()
+	stats.Candidates = counters.Candidates.Load()
+	stats.IndexBuilds = counters.IndexBuilds.Load()
+	stats.StopReason = governor.StopReason(err)
 }
 
 // derived holds the materialized extensions of IDB predicates during a
@@ -62,28 +88,35 @@ func (d *derived) get(pred string) *storage.Relation {
 	return d.rels[pred]
 }
 
-func (d *derived) relation(pred string, arity int) *storage.Relation {
+func (d *derived) relation(pred string, arity int) (*storage.Relation, error) {
 	d.mu.RLock()
 	r, ok := d.rels[pred]
 	d.mu.RUnlock()
 	if ok {
-		return r
+		return r, nil
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if r, ok := d.rels[pred]; ok {
-		return r
+		return r, nil
 	}
-	r = storage.NewRelation(arity)
+	r, err := storage.NewRelation(arity)
+	if err != nil {
+		return nil, err
+	}
 	if d.counters != nil {
 		r.SetCounters(d.counters)
 	}
 	d.rels[pred] = r
-	return r
+	return r, nil
 }
 
 func (d *derived) insert(a term.Atom) (bool, error) {
-	return d.relation(a.Pred, len(a.Args)).Insert(storage.Tuple(a.Args))
+	r, err := d.relation(a.Pred, len(a.Args))
+	if err != nil {
+		return false, err
+	}
+	return r.Insert(storage.Tuple(a.Args))
 }
 
 // empty reports whether no relation holds any tuple.
@@ -155,6 +188,7 @@ type bottomUp struct {
 	in        Input
 	seminaive bool
 	workers   int
+	limits    governor.Limits
 	stats     atomic.Pointer[EvalStats]
 }
 
@@ -163,7 +197,7 @@ type bottomUp struct {
 // correctness baseline the optimized engines are tested against.
 func NewNaive(in Input, opts ...EngineOption) Engine {
 	cfg := buildConfig(opts)
-	return &bottomUp{in: in, workers: cfg.workers}
+	return &bottomUp{in: in, workers: cfg.workers, limits: cfg.limits}
 }
 
 // NewSemiNaive returns the semi-naive bottom-up engine: within each
@@ -173,7 +207,7 @@ func NewNaive(in Input, opts ...EngineOption) Engine {
 // concurrently.
 func NewSemiNaive(in Input, opts ...EngineOption) Engine {
 	cfg := buildConfig(opts)
-	return &bottomUp{in: in, seminaive: true, workers: cfg.workers}
+	return &bottomUp{in: in, seminaive: true, workers: cfg.workers, limits: cfg.limits}
 }
 
 // Name identifies the engine.
@@ -191,10 +225,22 @@ func (e *bottomUp) Name() string {
 // LastStats returns the statistics of the most recent Retrieve.
 func (e *bottomUp) LastStats() *EvalStats { return e.stats.Load() }
 
-// Retrieve evaluates the query bottom-up. Components of the dependency
-// graph's condensation are evaluated in dependency order — sequentially,
-// or on a worker pool that runs independent components concurrently.
+// Retrieve evaluates the query bottom-up to completion (no context).
+// Configured limits (WithLimits) still apply.
 func (e *bottomUp) Retrieve(q Query) (*Result, error) {
+	return e.RetrieveContext(context.Background(), q)
+}
+
+// RetrieveContext evaluates the query bottom-up under the governor.
+// Components of the dependency graph's condensation are evaluated in
+// dependency order — sequentially, or on a worker pool that runs
+// independent components concurrently. Cancellation and limit breaches
+// stop the fixpoint loops cooperatively and return a *StopError; panics
+// anywhere in the evaluation (worker goroutines included) are contained.
+func (e *bottomUp) RetrieveContext(ctx context.Context, q Query) (res *Result, err error) {
+	defer governor.Recover(&err)
+	gov, cancel := governor.New(ctx, e.limits)
+	defer cancel()
 	p, err := buildPlan(e.in, q)
 	if err != nil {
 		return nil, err
@@ -235,41 +281,44 @@ func (e *bottomUp) Retrieve(q Query) (*Result, error) {
 			cs.Skipped = true
 			return nil
 		}
+		if err := gov.Err(); err != nil {
+			return err
+		}
 		t0 := time.Now()
-		err := e.evalComponent(p, d, comp, cs)
+		err := e.evalComponent(p, d, gov, comp, cs)
 		cs.Wall = time.Since(t0)
 		return err
 	}
+	var runErr error
 	if e.workers <= 1 {
 		for i := range components {
-			if err := evalOne(i); err != nil {
-				return nil, err
+			if runErr = evalOne(i); runErr != nil {
+				break
 			}
 		}
 	} else {
-		if err := runDAG(e.workers, p.graph.SCCDeps(), evalOne); err != nil {
-			return nil, err
-		}
+		runErr = runDAG(e.workers, p.graph.SCCDeps(), evalOne)
 	}
-	stats.Wall = time.Since(start)
-	for i := range stats.Components {
-		stats.Facts += stats.Components[i].Facts
-		stats.Lookups += stats.Components[i].Lookups
-	}
-	stats.Probes = counters.Probes.Load()
-	stats.Candidates = counters.Candidates.Load()
-	stats.IndexBuilds = counters.IndexBuilds.Load()
+	finishStats(stats, start, counters, runErr)
 	e.stats.Store(stats)
+	if runErr != nil {
+		return nil, &StopError{Stats: stats, Err: runErr}
+	}
 	return e.collect(p, d), nil
 }
 
 // fullLookup builds the component-local lookup over the union of the
 // derived and stored extensions: derived facts are enumerated first,
 // then stored facts — suppressing the stored tuples already present in
-// the derived relation so no substitution is fed twice.
-func (e *bottomUp) fullLookup(d *derived, cs *ComponentStats) lookup {
+// the derived relation so no substitution is fed twice. Each lookup
+// performs one amortized governor check, which bounds the cancellation
+// latency of even a single very large fixpoint round.
+func (e *bottomUp) fullLookup(d *derived, gov *governor.Governor, cs *ComponentStats) lookup {
 	return func(a term.Atom, base term.Subst, fn func(term.Subst) bool) error {
 		cs.Lookups++
+		if err := gov.Tick(); err != nil {
+			return err
+		}
 		rel := d.get(a.Pred)
 		if rel == nil {
 			return e.in.Store.Match(a, base, fn)
@@ -295,7 +344,7 @@ func (e *bottomUp) fullLookup(d *derived, cs *ComponentStats) lookup {
 // single goroutine; under parallel evaluation the scheduler guarantees
 // every component it depends on has completed, so the only relations
 // that grow during the run are the component's own.
-func (e *bottomUp) evalComponent(p *plan, d *derived, comp []string, cs *ComponentStats) error {
+func (e *bottomUp) evalComponent(p *plan, d *derived, gov *governor.Governor, comp []string, cs *ComponentStats) error {
 	inComp := make(map[string]bool, len(comp))
 	for _, pred := range comp {
 		inComp[pred] = true
@@ -313,37 +362,49 @@ func (e *bottomUp) evalComponent(p *plan, d *derived, comp []string, cs *Compone
 		}
 	}
 	cs.Recursive = recursive
-	full := e.fullLookup(d, cs)
+	full := e.fullLookup(d, gov, cs)
 
 	// First round: apply every rule once against the current state.
 	delta := newDerived(d.counters)
 	fresh := 0
-	if err := applyRules(rules, full, func(fact term.Atom) error {
+	err := applyRules(rules, full, func(fact term.Atom) error {
 		added, err := d.insert(fact)
 		if err != nil {
 			return err
 		}
 		if added {
 			fresh++
+			if err := gov.CountFacts(1); err != nil {
+				return err
+			}
 			if _, err := delta.insert(fact); err != nil {
 				return err
 			}
 		}
 		return nil
-	}); err != nil {
-		return err
-	}
+	})
+	// Commit the (possibly partial) round's counters even on a governed
+	// stop, so the stats attached to the error reflect the work done.
 	cs.Iterations = 1
 	cs.Facts = fresh
 	cs.DeltaSizes = append(cs.DeltaSizes, fresh)
+	if err != nil {
+		return err
+	}
 	if !recursive {
 		return nil
 	}
 
-	// Iterate to fixpoint.
+	// Iterate to fixpoint, checking the governor between rounds.
 	for {
 		if e.seminaive && delta.empty() {
 			return nil
+		}
+		if err := gov.Err(); err != nil {
+			return err
+		}
+		if err := gov.CheckIterations(cs.Iterations + 1); err != nil {
+			return err
 		}
 		nextDelta := newDerived(d.counters)
 		grew := 0
@@ -354,6 +415,9 @@ func (e *bottomUp) evalComponent(p *plan, d *derived, comp []string, cs *Compone
 			}
 			if added {
 				grew++
+				if err := gov.CountFacts(1); err != nil {
+					return err
+				}
 				if _, err := nextDelta.insert(fact); err != nil {
 					return err
 				}
@@ -362,16 +426,16 @@ func (e *bottomUp) evalComponent(p *plan, d *derived, comp []string, cs *Compone
 		}
 		var err error
 		if e.seminaive {
-			err = applyRulesSemiNaive(rules, inComp, full, delta, sink)
+			err = applyRulesSemiNaive(rules, inComp, full, delta, gov, sink)
 		} else {
 			err = applyRules(rules, full, sink)
-		}
-		if err != nil {
-			return err
 		}
 		cs.Iterations++
 		cs.Facts += grew
 		cs.DeltaSizes = append(cs.DeltaSizes, grew)
+		if err != nil {
+			return err
+		}
 		if grew == 0 {
 			return nil
 		}
@@ -389,6 +453,9 @@ func applyRules(rules []term.Rule, lk lookup, sink func(term.Atom) error) error 
 			if !head.IsGround() {
 				derr = fmt.Errorf("eval: derived non-ground fact %v from %v", head, r)
 				return false
+			}
+			if DeriveHook != nil {
+				DeriveHook(head)
 			}
 			if err := sink(head); err != nil {
 				derr = err
@@ -410,7 +477,7 @@ func applyRules(rules []term.Rule, lk lookup, sink func(term.Atom) error) error 
 // body atom is resolved against the delta of the previous iteration. For
 // a rule with k recursive occurrences it evaluates k differentiated
 // variants, pinning occurrence i to the delta.
-func applyRulesSemiNaive(rules []term.Rule, inComp map[string]bool, full lookup, delta *derived, sink func(term.Atom) error) error {
+func applyRulesSemiNaive(rules []term.Rule, inComp map[string]bool, full lookup, delta *derived, gov *governor.Governor, sink func(term.Atom) error) error {
 	for _, r := range rules {
 		var recIdx []int
 		for i, a := range r.Body {
@@ -424,11 +491,14 @@ func applyRulesSemiNaive(rules []term.Rule, inComp map[string]bool, full lookup,
 		for _, pin := range recIdx {
 			pinned := pin
 			var derr error
-			_, err := solveBodyPinned(r.Body, pinned, full, delta, nil, func(s term.Subst) bool {
+			_, err := solveBodyPinned(r.Body, pinned, full, delta, gov, nil, func(s term.Subst) bool {
 				head := s.Apply(r.Head)
 				if !head.IsGround() {
 					derr = fmt.Errorf("eval: derived non-ground fact %v from %v", head, r)
 					return false
+				}
+				if DeriveHook != nil {
+					DeriveHook(head)
 				}
 				if err := sink(head); err != nil {
 					derr = err
@@ -449,7 +519,7 @@ func applyRulesSemiNaive(rules []term.Rule, inComp map[string]bool, full lookup,
 
 // solveBodyPinned is solveBody with one body occurrence (by original
 // index) resolved against the delta relations instead of the full ones.
-func solveBodyPinned(body []term.Atom, pin int, full lookup, delta *derived, base term.Subst, fn func(term.Subst) bool) (bool, error) {
+func solveBodyPinned(body []term.Atom, pin int, full lookup, delta *derived, gov *governor.Governor, base term.Subst, fn func(term.Subst) bool) (bool, error) {
 	type tagged struct {
 		atom   term.Atom
 		pinned bool
@@ -493,6 +563,9 @@ func solveBodyPinned(body []term.Atom, pin int, full lookup, delta *derived, bas
 		lk := full
 		if it.pinned {
 			lk = func(a term.Atom, b term.Subst, f func(term.Subst) bool) error {
+				if err := gov.Tick(); err != nil {
+					return err
+				}
 				return delta.match(a, b, f)
 			}
 		}

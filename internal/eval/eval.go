@@ -16,6 +16,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -95,8 +96,14 @@ func (r *Result) Strings() []string {
 type Engine interface {
 	// Name identifies the evaluation strategy.
 	Name() string
-	// Retrieve evaluates one query.
+	// Retrieve evaluates one query to completion, ungoverned.
 	Retrieve(q Query) (*Result, error)
+	// RetrieveContext evaluates one query under the context and the
+	// engine's configured limits (WithLimits). Cancellation, deadline
+	// expiry, and limit breaches stop the evaluation promptly and
+	// return a *StopError wrapping the structured breach; an internal
+	// panic is contained and surfaces as a *governor.PanicError.
+	RetrieveContext(ctx context.Context, q Query) (*Result, error)
 }
 
 // queryPredName is the reserved head predicate of the internal query rule.

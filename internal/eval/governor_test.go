@@ -1,0 +1,275 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"kdb/internal/governor"
+	"kdb/internal/term"
+)
+
+// expensiveInput builds a divergently expensive (but finite) program: the
+// transitive closure of an n-node cycle has n² reachable pairs and needs
+// ~n fixpoint rounds, far more work than any test deadline allows.
+func expensiveInput(t testing.TB, n int) Input {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "edge(n%d, n%d).\n", i, (i+1)%n)
+	}
+	sb.WriteString("reach(X, Y) :- edge(X, Y).\n")
+	sb.WriteString("reach(X, Y) :- edge(X, Z), reach(Z, Y).\n")
+	return load(t, sb.String())
+}
+
+// governedEngines returns every engine in sequential and parallel
+// flavors, all built with the given options.
+func governedEngines(in Input, opts ...EngineOption) []Engine {
+	par := append(append([]EngineOption{}, opts...), WithWorkers(4))
+	return []Engine{
+		NewNaive(in, opts...),
+		NewNaive(in, par...),
+		NewSemiNaive(in, opts...),
+		NewSemiNaive(in, par...),
+		NewTopDown(in, opts...),
+		NewMagic(in, opts...),
+		NewMagic(in, par...),
+	}
+}
+
+func engineLabel(i int, e Engine) string { return fmt.Sprintf("%d-%s", i, e.Name()) }
+
+func TestDeadlineStopsEveryEngine(t *testing.T) {
+	in := expensiveInput(t, 600)
+	q := query(t, `retrieve reach(X, Y).`)
+	for i, e := range governedEngines(in) {
+		e := e
+		t.Run(engineLabel(i, e), func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+			defer cancel()
+			start := time.Now()
+			_, err := e.RetrieveContext(ctx, q)
+			elapsed := time.Since(start)
+			if err == nil {
+				t.Fatal("expected a deadline error, query completed")
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("err = %v, want to wrap context.DeadlineExceeded", err)
+			}
+			if !errors.Is(err, governor.ErrCanceled) {
+				t.Errorf("err = %v, want to match governor.ErrCanceled", err)
+			}
+			if elapsed > 500*time.Millisecond {
+				t.Errorf("took %v to observe a 100ms deadline", elapsed)
+			}
+			var se *StopError
+			if !errors.As(err, &se) {
+				t.Fatalf("err = %v, want *StopError with stats", err)
+			}
+			if se.Stats == nil || se.Stats.StopReason != "deadline" {
+				t.Errorf("stats = %+v, want StopReason deadline", se.Stats)
+			}
+		})
+	}
+}
+
+func TestMaxWallLimitViaOptions(t *testing.T) {
+	in := expensiveInput(t, 600)
+	q := query(t, `retrieve reach(X, Y).`)
+	for i, e := range governedEngines(in, WithLimits(governor.Limits{MaxWall: 50 * time.Millisecond})) {
+		e := e
+		t.Run(engineLabel(i, e), func(t *testing.T) {
+			start := time.Now()
+			_, err := e.Retrieve(q) // plain Retrieve: the limit alone must stop it
+			if err == nil {
+				t.Fatal("expected a deadline error, query completed")
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("err = %v, want to wrap context.DeadlineExceeded", err)
+			}
+			if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+				t.Errorf("took %v to observe a 50ms wall limit", elapsed)
+			}
+		})
+	}
+}
+
+func TestPreCanceledContext(t *testing.T) {
+	in := expensiveInput(t, 600)
+	q := query(t, `retrieve reach(X, Y).`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, e := range governedEngines(in) {
+		e := e
+		t.Run(engineLabel(i, e), func(t *testing.T) {
+			start := time.Now()
+			_, err := e.RetrieveContext(ctx, q)
+			if !errors.Is(err, governor.ErrCanceled) {
+				t.Errorf("err = %v, want governor.ErrCanceled", err)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Errorf("err = %v, want to wrap context.Canceled", err)
+			}
+			if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+				t.Errorf("took %v to observe a pre-canceled context", elapsed)
+			}
+		})
+	}
+}
+
+func TestMaxFactsLimit(t *testing.T) {
+	in := expensiveInput(t, 200)
+	q := query(t, `retrieve reach(X, Y).`)
+	for i, e := range governedEngines(in, WithLimits(governor.Limits{MaxFacts: 100})) {
+		e := e
+		t.Run(engineLabel(i, e), func(t *testing.T) {
+			_, err := e.Retrieve(q)
+			var le *governor.LimitError
+			if !errors.As(err, &le) {
+				t.Fatalf("err = %v, want *LimitError", err)
+			}
+			if le.Kind != governor.LimitFacts {
+				t.Errorf("kind = %q, want %q", le.Kind, governor.LimitFacts)
+			}
+			var se *StopError
+			if !errors.As(err, &se) || se.Stats == nil {
+				t.Fatalf("err = %v, want *StopError with stats", err)
+			}
+			if se.Stats.StopReason != "limit:facts" {
+				t.Errorf("StopReason = %q", se.Stats.StopReason)
+			}
+		})
+	}
+}
+
+func TestMaxIterationsLimit(t *testing.T) {
+	in := expensiveInput(t, 200)
+	q := query(t, `retrieve reach(X, Y).`)
+	for i, e := range governedEngines(in, WithLimits(governor.Limits{MaxIterations: 2})) {
+		e := e
+		t.Run(engineLabel(i, e), func(t *testing.T) {
+			_, err := e.Retrieve(q)
+			var le *governor.LimitError
+			if !errors.As(err, &le) {
+				t.Fatalf("err = %v, want *LimitError", err)
+			}
+			if le.Kind != governor.LimitIterations {
+				t.Errorf("kind = %q, want %q", le.Kind, governor.LimitIterations)
+			}
+		})
+	}
+}
+
+func TestMaxTableEntriesLimit(t *testing.T) {
+	// Two IDB predicates guarantee at least two call-pattern tables.
+	in := load(t, `
+edge(a, b). edge(b, c). edge(c, d).
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- edge(X, Z), reach(Z, Y).
+twohop(X, Y) :- reach(X, Z), reach(Z, Y).
+`)
+	q := query(t, `retrieve twohop(X, Y).`)
+	e := NewTopDown(in, WithLimits(governor.Limits{MaxTableEntries: 1}))
+	_, err := e.Retrieve(q)
+	var le *governor.LimitError
+	if !errors.As(err, &le) {
+		t.Fatalf("err = %v, want *LimitError", err)
+	}
+	if le.Kind != governor.LimitTableEntries {
+		t.Errorf("kind = %q, want %q", le.Kind, governor.LimitTableEntries)
+	}
+}
+
+func TestLimitsDoNotAffectCompletingQueries(t *testing.T) {
+	in := load(t, universityDB)
+	q := query(t, `retrieve prior(databases, X).`)
+	limits := governor.Limits{
+		MaxWall:       10 * time.Second,
+		MaxFacts:      100000,
+		MaxIterations: 100000,
+	}
+	for i, e := range governedEngines(in, WithLimits(limits)) {
+		e := e
+		t.Run(engineLabel(i, e), func(t *testing.T) {
+			res, err := e.Retrieve(q)
+			if err != nil {
+				t.Fatalf("generous limits must not interfere: %v", err)
+			}
+			if len(res.Tuples) != 2 {
+				t.Errorf("answers = %d, want 2", len(res.Tuples))
+			}
+		})
+	}
+}
+
+func TestPanicContainment(t *testing.T) {
+	in := expensiveInput(t, 10)
+	q := query(t, `retrieve reach(X, Y).`)
+	DeriveHook = func(term.Atom) { panic("injected failure") }
+	defer func() { DeriveHook = nil }()
+	for i, e := range governedEngines(in) {
+		e := e
+		t.Run(engineLabel(i, e), func(t *testing.T) {
+			_, err := e.Retrieve(q)
+			var pe *governor.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("err = %v, want *PanicError", err)
+			}
+			if !strings.Contains(pe.Error(), "injected failure") {
+				t.Errorf("panic value lost: %v", pe)
+			}
+		})
+	}
+}
+
+// TestPanicContainmentParallelWorkers pins the worker-goroutine recover
+// path: a panic inside a scheduler worker must surface as an error from
+// RetrieveContext, not crash the process.
+func TestPanicContainmentParallelWorkers(t *testing.T) {
+	// Several independent SCCs so the DAG scheduler actually fans out.
+	in := load(t, `
+e1(a, b). e2(a, b). e3(a, b). e4(a, b).
+p1(X, Y) :- e1(X, Y).
+p2(X, Y) :- e2(X, Y).
+p3(X, Y) :- e3(X, Y).
+p4(X, Y) :- e4(X, Y).
+all(X, Y) :- p1(X, Y), p2(X, Y), p3(X, Y), p4(X, Y).
+`)
+	q := query(t, `retrieve all(X, Y).`)
+	DeriveHook = func(term.Atom) { panic("worker panic") }
+	defer func() { DeriveHook = nil }()
+	e := NewSemiNaive(in, WithWorkers(4))
+	_, err := e.RetrieveContext(context.Background(), q)
+	var pe *governor.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+}
+
+func TestStatsCarryStopReason(t *testing.T) {
+	in := expensiveInput(t, 200)
+	q := query(t, `retrieve reach(X, Y).`)
+	e := NewSemiNaive(in, WithLimits(governor.Limits{MaxFacts: 50}))
+	_, err := e.Retrieve(q)
+	var se *StopError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StopError", err)
+	}
+	if se.Stats.StopReason != "limit:facts" {
+		t.Errorf("StopReason = %q", se.Stats.StopReason)
+	}
+	if !strings.Contains(se.Stats.String(), "stop=limit:facts") {
+		t.Errorf("stats string %q must mention the stop reason", se.Stats.String())
+	}
+	if sr, ok := e.(StatsReporter); ok {
+		if st := sr.LastStats(); st == nil || st.StopReason != "limit:facts" {
+			t.Errorf("LastStats = %+v, want governed stop recorded", st)
+		}
+	} else {
+		t.Error("engine must implement StatsReporter")
+	}
+}

@@ -1,11 +1,13 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync/atomic"
 
+	"kdb/internal/governor"
 	"kdb/internal/term"
 )
 
@@ -35,14 +37,16 @@ import (
 type magic struct {
 	in      Input
 	workers int
+	limits  governor.Limits
 	stats   atomic.Pointer[EvalStats]
 }
 
-// NewMagic returns the magic-sets engine. WithWorkers is forwarded to
-// the semi-naive engine that evaluates the rewritten program.
+// NewMagic returns the magic-sets engine. WithWorkers and WithLimits
+// are forwarded to the semi-naive engine that evaluates the rewritten
+// program.
 func NewMagic(in Input, opts ...EngineOption) Engine {
 	cfg := buildConfig(opts)
-	return &magic{in: in, workers: cfg.workers}
+	return &magic{in: in, workers: cfg.workers, limits: cfg.limits}
 }
 
 // Name identifies the engine.
@@ -52,8 +56,18 @@ func (e *magic) Name() string { return "magic" }
 // the inner semi-naive run over the rewritten program, relabeled).
 func (e *magic) LastStats() *EvalStats { return e.stats.Load() }
 
-// Retrieve rewrites the query and evaluates it bottom-up.
+// Retrieve rewrites the query and evaluates it bottom-up to completion
+// (no context). Configured limits (WithLimits) still apply.
 func (e *magic) Retrieve(q Query) (*Result, error) {
+	return e.RetrieveContext(context.Background(), q)
+}
+
+// RetrieveContext rewrites the query and evaluates it bottom-up under
+// the governor: the context and limits are forwarded to the inner
+// semi-naive engine, so MaxFacts counts the facts of the rewritten
+// program (magic seeds included).
+func (e *magic) RetrieveContext(ctx context.Context, q Query) (res *Result, err error) {
+	defer governor.Recover(&err)
 	p, err := buildPlan(e.in, q)
 	if err != nil {
 		return nil, err
@@ -63,18 +77,20 @@ func (e *magic) Retrieve(q Query) (*Result, error) {
 		return nil, err
 	}
 	inner := Input{Store: e.in.Store, Rules: rewritten}
-	engine := NewSemiNaive(inner, WithWorkers(e.workers))
-	res, err := engine.Retrieve(Query{
+	engine := NewSemiNaive(inner, WithWorkers(e.workers), WithLimits(e.limits))
+	res, err = engine.RetrieveContext(ctx, Query{
 		Subject: term.NewAtom(queryPred, p.vars...),
 	})
-	if err != nil {
-		return nil, err
-	}
+	// Relabel the inner run's record (the StopError of a governed stop
+	// carries the same *EvalStats pointer) on both paths.
 	if sr, ok := engine.(StatsReporter); ok {
 		if st := sr.LastStats(); st != nil {
 			st.Engine = e.Name()
 			e.stats.Store(st)
 		}
+	}
+	if err != nil {
+		return nil, err
 	}
 	res.Vars = p.vars
 	return res, nil

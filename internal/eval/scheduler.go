@@ -1,6 +1,10 @@
 package eval
 
-import "sync"
+import (
+	"sync"
+
+	"kdb/internal/governor"
+)
 
 // runDAG executes one task per node of a dependency DAG on a bounded
 // worker pool. deps[i] lists the nodes that must complete before node i
@@ -72,7 +76,14 @@ func runDAG(workers int, deps [][]int, run func(node int) error) error {
 				aborted := firstErr != nil
 				mu.Unlock()
 				if !aborted {
-					if err := run(i); err != nil {
+					// A panic on a worker goroutine would kill the whole
+					// process (recover at the engine entry point cannot see
+					// it); contain it here and report it as the task error.
+					err := func() (err error) {
+						defer governor.Recover(&err)
+						return run(i)
+					}()
+					if err != nil {
 						mu.Lock()
 						if firstErr == nil {
 							firstErr = err

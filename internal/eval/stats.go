@@ -56,6 +56,10 @@ type EvalStats struct {
 	IndexBuilds int64
 	// Wall is the end-to-end evaluation time.
 	Wall time.Duration
+	// StopReason is empty for a run-to-completion evaluation; a governed
+	// stop records why ("deadline", "canceled", "limit:<kind>", "panic").
+	// The record then holds the snapshot at stop time.
+	StopReason string
 }
 
 // StatsReporter is implemented by engines that record evaluation
@@ -71,6 +75,9 @@ func (s *EvalStats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "engine=%s workers=%d wall=%s facts=%d lookups=%d probes=%d candidates=%d index-builds=%d",
 		s.Engine, s.Workers, s.Wall.Round(time.Microsecond), s.Facts, s.Lookups, s.Probes, s.Candidates, s.IndexBuilds)
+	if s.StopReason != "" {
+		fmt.Fprintf(&b, " stop=%s", s.StopReason)
+	}
 	if s.Passes > 0 {
 		fmt.Fprintf(&b, " passes=%d tables=%d", s.Passes, s.Tables)
 	}

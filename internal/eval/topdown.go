@@ -1,11 +1,13 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync/atomic"
 	"time"
 
+	"kdb/internal/governor"
 	"kdb/internal/storage"
 	"kdb/internal/term"
 )
@@ -17,13 +19,18 @@ import (
 // table grows (naive-iteration tabling). This terminates on all Datalog
 // programs and only ever touches predicates relevant to the goal.
 type topDown struct {
-	in    Input
-	stats atomic.Pointer[EvalStats]
+	in     Input
+	limits governor.Limits
+	stats  atomic.Pointer[EvalStats]
 }
 
 // NewTopDown returns the tabled top-down engine. It ignores WithWorkers
-// (tabling shares one answer-table space across the whole resolution).
-func NewTopDown(in Input, opts ...EngineOption) Engine { return &topDown{in: in} }
+// (tabling shares one answer-table space across the whole resolution)
+// but honors WithLimits.
+func NewTopDown(in Input, opts ...EngineOption) Engine {
+	cfg := buildConfig(opts)
+	return &topDown{in: in, limits: cfg.limits}
+}
 
 // Name identifies the engine.
 func (e *topDown) Name() string { return "topdown" }
@@ -43,6 +50,7 @@ type topDownRun struct {
 	in    Input
 	graph map[string][]term.Rule
 	rn    term.Renamer
+	gov   *governor.Governor
 
 	tables   map[string]*table
 	pass     int
@@ -51,8 +59,21 @@ type topDownRun struct {
 	lookups  int64
 }
 
-// Retrieve evaluates the query goal-directed.
+// Retrieve evaluates the query goal-directed to completion (no
+// context). Configured limits (WithLimits) still apply.
 func (e *topDown) Retrieve(q Query) (*Result, error) {
+	return e.RetrieveContext(context.Background(), q)
+}
+
+// RetrieveContext evaluates the query goal-directed under the governor:
+// the naive-iteration driver checks cancellation and the pass budget
+// between passes, every lookup performs an amortized check, and table
+// allocation and answer insertion are bounded by MaxTableEntries and
+// MaxFacts.
+func (e *topDown) RetrieveContext(ctx context.Context, q Query) (res *Result, err error) {
+	defer governor.Recover(&err)
+	gov, cancel := governor.New(ctx, e.limits)
+	defer cancel()
 	p, err := buildPlan(e.in, q)
 	if err != nil {
 		return nil, err
@@ -60,6 +81,7 @@ func (e *topDown) Retrieve(q Query) (*Result, error) {
 	run := &topDownRun{
 		in:       e.in,
 		graph:    make(map[string][]term.Rule),
+		gov:      gov,
 		tables:   make(map[string]*table),
 		counters: &storage.Counters{},
 	}
@@ -74,22 +96,22 @@ func (e *topDown) Retrieve(q Query) (*Result, error) {
 	goal := p.rule.Head
 	start := time.Now()
 	// Naive-iteration driver: re-run until no table grows.
+	var runErr error
 	for {
+		if runErr = gov.Err(); runErr != nil {
+			break
+		}
+		if runErr = gov.CheckIterations(run.pass + 1); runErr != nil {
+			break
+		}
 		run.pass++
 		run.grew = false
-		if err := run.solveTable(goal); err != nil {
-			return nil, err
+		if runErr = run.solveTable(goal); runErr != nil {
+			break
 		}
 		if !run.grew {
 			break
 		}
-	}
-	res := &Result{Vars: p.vars}
-	if t, ok := run.tables[callKey(goal)]; ok {
-		t.answers.Scan(func(tp storage.Tuple) bool {
-			res.Tuples = append(res.Tuples, tp.Clone())
-			return true
-		})
 	}
 	stats := &EvalStats{
 		Engine:  e.Name(),
@@ -105,7 +127,18 @@ func (e *topDown) Retrieve(q Query) (*Result, error) {
 	stats.Probes = run.counters.Probes.Load()
 	stats.Candidates = run.counters.Candidates.Load()
 	stats.IndexBuilds = run.counters.IndexBuilds.Load()
+	stats.StopReason = governor.StopReason(runErr)
 	e.stats.Store(stats)
+	if runErr != nil {
+		return nil, &StopError{Stats: stats, Err: runErr}
+	}
+	res = &Result{Vars: p.vars}
+	if t, ok := run.tables[callKey(goal)]; ok {
+		t.answers.Scan(func(tp storage.Tuple) bool {
+			res.Tuples = append(res.Tuples, tp.Clone())
+			return true
+		})
+	}
 	return res, nil
 }
 
@@ -142,7 +175,14 @@ func (r *topDownRun) solveTable(goal term.Atom) error {
 	key := callKey(goal)
 	t, ok := r.tables[key]
 	if !ok {
-		t = &table{answers: storage.NewRelation(len(goal.Args))}
+		if err := r.gov.CheckTableEntries(len(r.tables) + 1); err != nil {
+			return err
+		}
+		rel, err := storage.NewRelation(len(goal.Args))
+		if err != nil {
+			return err
+		}
+		t = &table{answers: rel}
 		t.answers.SetCounters(r.counters)
 		r.tables[key] = t
 	}
@@ -158,10 +198,18 @@ func (r *topDownRun) solveTable(goal term.Atom) error {
 		}
 		var derr error
 		_, err := solveBody(mgu.ApplyFormula(fresh.Body), nil, r.lookup, func(s term.Subst) bool {
+			// Large joins emit many solutions between lookups; tick per
+			// solution so cancellation latency stays bounded.
+			if derr = r.gov.Tick(); derr != nil {
+				return false
+			}
 			head := s.Apply(mgu.Apply(fresh.Head))
 			if !head.IsGround() {
 				derr = fmt.Errorf("eval: derived non-ground fact %v from %v", head, rule)
 				return false
+			}
+			if DeriveHook != nil {
+				DeriveHook(head)
 			}
 			added, err := t.answers.Insert(storage.Tuple(head.Args))
 			if err != nil {
@@ -170,6 +218,10 @@ func (r *topDownRun) solveTable(goal term.Atom) error {
 			}
 			if added {
 				r.grew = true
+				if err := r.gov.CountFacts(1); err != nil {
+					derr = err
+					return false
+				}
 			}
 			return true
 		})
@@ -187,6 +239,9 @@ func (r *topDownRun) solveTable(goal term.Atom) error {
 // predicates via their (possibly still-growing) tables.
 func (r *topDownRun) lookup(a term.Atom, base term.Subst, fn func(term.Subst) bool) error {
 	r.lookups++
+	if err := r.gov.Tick(); err != nil {
+		return err
+	}
 	rules := r.graph[a.Pred]
 	if len(rules) == 0 {
 		return r.in.Store.Match(a, base, fn)
@@ -197,7 +252,13 @@ func (r *topDownRun) lookup(a term.Atom, base term.Subst, fn func(term.Subst) bo
 	}
 	t := r.tables[callKey(goal)]
 	stopped := false
+	var terr error
 	t.answers.Scan(func(tp storage.Tuple) bool {
+		// Answer tables can hold many tuples; tick per tuple (amortized)
+		// so a scan inside a big join stays cancelable.
+		if terr = r.gov.Tick(); terr != nil {
+			return false
+		}
 		ext, ok := term.Match(goal, term.Atom{Pred: a.Pred, Args: tp}, base)
 		if !ok {
 			return true
@@ -208,6 +269,9 @@ func (r *topDownRun) lookup(a term.Atom, base term.Subst, fn func(term.Subst) bo
 		}
 		return true
 	})
+	if terr != nil {
+		return terr
+	}
 	if stopped {
 		return nil
 	}

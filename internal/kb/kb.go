@@ -7,6 +7,7 @@
 package kb
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
@@ -19,6 +20,7 @@ import (
 	"kdb/internal/core"
 	"kdb/internal/depgraph"
 	"kdb/internal/eval"
+	"kdb/internal/governor"
 	"kdb/internal/parser"
 	"kdb/internal/storage"
 	"kdb/internal/term"
@@ -46,6 +48,7 @@ type KB struct {
 	constraints []term.Formula
 	engine      EngineKind
 	parallelism int
+	limits      governor.Limits
 	opts        core.Options
 	intensional bool
 	provenance  bool
@@ -67,6 +70,15 @@ type Option func(*KB)
 // (sequential evaluation).
 func WithParallelism(n int) Option {
 	return func(k *KB) { k.setParallelism(n) }
+}
+
+// WithQueryLimits sets the per-query resource limits the query governor
+// enforces on every retrieve and describe evaluation: maximum wall time,
+// derived facts, fixpoint iterations per stratum, top-down table
+// entries, and describe search steps. The zero value of each field
+// means unlimited. Context cancellation is honored regardless.
+func WithQueryLimits(l governor.Limits) Option {
+	return func(k *KB) { k.limits = l }
 }
 
 // New returns an empty in-memory knowledge base.
@@ -138,6 +150,21 @@ func (k *KB) Parallelism() int {
 	k.mu.RLock()
 	defer k.mu.RUnlock()
 	return k.parallelism
+}
+
+// SetQueryLimits replaces the per-query resource limits (see
+// WithQueryLimits); it takes effect on the next query.
+func (k *KB) SetQueryLimits(l governor.Limits) {
+	k.mu.Lock()
+	k.limits = l
+	k.mu.Unlock()
+}
+
+// QueryLimits returns the configured per-query resource limits.
+func (k *KB) QueryLimits() governor.Limits {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.limits
 }
 
 // LastStats returns the evaluation statistics of the most recent
@@ -390,28 +417,42 @@ func (k *KB) Validate() []string {
 func (k *KB) newEngine() eval.Engine {
 	in := eval.Input{Store: k.store, Rules: k.rules}
 	w := eval.WithWorkers(k.parallelism)
+	l := eval.WithLimits(k.limits)
 	switch k.engine {
 	case EngineNaive:
-		return eval.NewNaive(in, w)
+		return eval.NewNaive(in, w, l)
 	case EngineTopDown:
-		return eval.NewTopDown(in, w)
+		return eval.NewTopDown(in, w, l)
 	case EngineMagic:
-		return eval.NewMagic(in, w)
+		return eval.NewMagic(in, w, l)
 	default:
-		return eval.NewSemiNaive(in, w)
+		return eval.NewSemiNaive(in, w, l)
 	}
 }
 
-// Retrieve evaluates a data query (§3.1).
+// Retrieve evaluates a data query (§3.1). The configured query limits
+// (WithQueryLimits) apply; use RetrieveContext to also support
+// cancellation.
 func (k *KB) Retrieve(subject term.Atom, where term.Formula) (*eval.Result, error) {
+	return k.RetrieveContext(context.Background(), subject, where)
+}
+
+// RetrieveContext evaluates a data query under the context and the
+// configured query limits. A governed stop — cancellation, deadline
+// expiry, a breached limit, or a contained panic — returns a structured
+// error (*eval.StopError wrapping governor.ErrCanceled,
+// *governor.LimitError, or *governor.PanicError); the statistics
+// snapshot at stop time is still recorded (LastStats) with its
+// StopReason set.
+func (k *KB) RetrieveContext(ctx context.Context, subject term.Atom, where term.Formula) (*eval.Result, error) {
 	k.mu.RLock()
 	defer k.mu.RUnlock()
 	engine := k.newEngine()
-	res, err := engine.Retrieve(eval.Query{Subject: subject, Where: where})
+	res, err := engine.RetrieveContext(ctx, eval.Query{Subject: subject, Where: where})
+	k.recordStats(engine)
 	if err != nil {
 		return nil, err
 	}
-	k.recordStats(engine)
 	return res, nil
 }
 
@@ -419,8 +460,14 @@ func (k *KB) Retrieve(subject term.Atom, where term.Formula) (*eval.Result, erro
 // (§6's second research direction): the answer is the union of the
 // per-disjunct answers.
 func (k *KB) RetrieveOr(subject term.Atom, disjuncts []term.Formula) (*eval.Result, error) {
+	return k.RetrieveOrContext(context.Background(), subject, disjuncts)
+}
+
+// RetrieveOrContext is RetrieveOr under the context and the configured
+// query limits (per-disjunct: each disjunct is one governed evaluation).
+func (k *KB) RetrieveOrContext(ctx context.Context, subject term.Atom, disjuncts []term.Formula) (*eval.Result, error) {
 	if len(disjuncts) == 0 {
-		return k.Retrieve(subject, nil)
+		return k.RetrieveContext(ctx, subject, nil)
 	}
 	k.mu.RLock()
 	defer k.mu.RUnlock()
@@ -428,8 +475,9 @@ func (k *KB) RetrieveOr(subject term.Atom, disjuncts []term.Formula) (*eval.Resu
 	var merged *eval.Result
 	seen := make(map[string]bool)
 	for _, d := range disjuncts {
-		res, err := engine.Retrieve(eval.Query{Subject: subject, Where: d})
+		res, err := engine.RetrieveContext(ctx, eval.Query{Subject: subject, Where: d})
 		if err != nil {
+			k.recordStats(engine)
 			return nil, err
 		}
 		if merged == nil {
@@ -450,11 +498,17 @@ func (k *KB) RetrieveOr(subject term.Atom, disjuncts []term.Formula) (*eval.Resu
 // DescribeOr evaluates a knowledge query with a disjunctive hypothesis:
 // the answers that hold under every disjunct.
 func (k *KB) DescribeOr(subject term.Atom, disjuncts []term.Formula) (*core.Answers, error) {
+	return k.DescribeOrContext(context.Background(), subject, disjuncts)
+}
+
+// DescribeOrContext is DescribeOr under the context and the configured
+// query limits.
+func (k *KB) DescribeOrContext(ctx context.Context, subject term.Atom, disjuncts []term.Formula) (*core.Answers, error) {
 	d, err := k.getDescriber()
 	if err != nil {
 		return nil, err
 	}
-	ans, err := d.DescribeOr(subject, disjuncts)
+	ans, err := d.DescribeOrContext(ctx, subject, disjuncts, k.QueryLimits())
 	if err != nil {
 		return nil, err
 	}
@@ -519,13 +573,23 @@ func (k *KB) getDescriber() (*core.Describer, error) {
 }
 
 // Describe evaluates a knowledge query (§3.2). Artificial step-predicate
-// names in answers are replaced by their @name display names.
+// names in answers are replaced by their @name display names. The
+// configured query limits apply; use DescribeContext to also support
+// cancellation.
 func (k *KB) Describe(subject term.Atom, where term.Formula) (*core.Answers, error) {
+	return k.DescribeContext(context.Background(), subject, where)
+}
+
+// DescribeContext evaluates a knowledge query under the context and the
+// configured query limits: the describe search checks cancellation
+// cooperatively, and MaxDescribeNodes bounds its steps as a hard error
+// (unlike the describe engine's own MaxNodes option, which truncates).
+func (k *KB) DescribeContext(ctx context.Context, subject term.Atom, where term.Formula) (*core.Answers, error) {
 	d, err := k.getDescriber()
 	if err != nil {
 		return nil, err
 	}
-	ans, err := d.Describe(subject, where)
+	ans, err := d.DescribeContext(ctx, subject, where, k.QueryLimits())
 	if err != nil {
 		return nil, err
 	}
@@ -535,11 +599,17 @@ func (k *KB) Describe(subject term.Atom, where term.Formula) (*core.Answers, err
 
 // DescribeNecessary evaluates `describe … where necessary ψ` (§6 ext. 1).
 func (k *KB) DescribeNecessary(subject term.Atom, where term.Formula) (*core.Answers, error) {
+	return k.DescribeNecessaryContext(context.Background(), subject, where)
+}
+
+// DescribeNecessaryContext is DescribeNecessary under the context and
+// the configured query limits.
+func (k *KB) DescribeNecessaryContext(ctx context.Context, subject term.Atom, where term.Formula) (*core.Answers, error) {
 	d, err := k.getDescriber()
 	if err != nil {
 		return nil, err
 	}
-	ans, err := d.DescribeNecessary(subject, where)
+	ans, err := d.DescribeNecessaryContext(ctx, subject, where, k.QueryLimits())
 	if err != nil {
 		return nil, err
 	}
@@ -601,14 +671,24 @@ func (k *KB) applyDisplayNames(ans *core.Answers) {
 // caller does not need to know whether the question addresses data or
 // knowledge.
 func (k *KB) Exec(q parser.Query) (*ExecResult, error) {
+	return k.ExecContext(context.Background(), q)
+}
+
+// ExecContext is Exec under the context and the configured query limits
+// (WithQueryLimits): retrieve and describe evaluations check the
+// context cooperatively, so a deadline or a Ctrl-C-driven cancel stops
+// an in-flight query with a structured error. The remaining statement
+// forms (describe not, possible, wildcard, compare) run their bounded
+// unfolding un-governed.
+func (k *KB) ExecContext(ctx context.Context, q parser.Query) (*ExecResult, error) {
 	switch s := q.(type) {
 	case *parser.Retrieve:
 		var res *eval.Result
 		var err error
 		if len(s.Or) > 0 {
-			res, err = k.RetrieveOr(s.Subject, s.Disjuncts())
+			res, err = k.RetrieveOrContext(ctx, s.Subject, s.Disjuncts())
 		} else {
-			res, err = k.Retrieve(s.Subject, s.Where)
+			res, err = k.RetrieveContext(ctx, s.Subject, s.Where)
 		}
 		if err != nil {
 			return nil, err
@@ -620,7 +700,7 @@ func (k *KB) Exec(q parser.Query) (*ExecResult, error) {
 		if intensional {
 			// Intensional answering: attach the knowledge characterizing
 			// the extension, when the subject is an IDB concept.
-			if ans, derr := k.DescribeOr(s.Subject, s.Disjuncts()); derr == nil {
+			if ans, derr := k.DescribeOrContext(ctx, s.Subject, s.Disjuncts()); derr == nil {
 				out.Knowledge = ans
 			}
 		}
@@ -652,19 +732,19 @@ func (k *KB) Exec(q parser.Query) (*ExecResult, error) {
 			}
 			return &ExecResult{Query: q, Necessity: n}, nil
 		case s.Necessary:
-			ans, err := k.DescribeNecessary(s.Subject, s.Where)
+			ans, err := k.DescribeNecessaryContext(ctx, s.Subject, s.Where)
 			if err != nil {
 				return nil, err
 			}
 			return &ExecResult{Query: q, Describe: ans, provenance: k.showProvenance()}, nil
 		case len(s.Or) > 0:
-			ans, err := k.DescribeOr(s.Subject, s.Disjuncts())
+			ans, err := k.DescribeOrContext(ctx, s.Subject, s.Disjuncts())
 			if err != nil {
 				return nil, err
 			}
 			return &ExecResult{Query: q, Describe: ans, provenance: k.showProvenance()}, nil
 		default:
-			ans, err := k.Describe(s.Subject, s.Where)
+			ans, err := k.DescribeContext(ctx, s.Subject, s.Where)
 			if err != nil {
 				return nil, err
 			}
@@ -683,11 +763,17 @@ func (k *KB) Exec(q parser.Query) (*ExecResult, error) {
 
 // ExecString parses and runs one query given as text.
 func (k *KB) ExecString(src string) (*ExecResult, error) {
+	return k.ExecStringContext(context.Background(), src)
+}
+
+// ExecStringContext parses and runs one query given as text, under the
+// context and the configured query limits (see ExecContext).
+func (k *KB) ExecStringContext(ctx context.Context, src string) (*ExecResult, error) {
 	q, err := parser.ParseQuery(src)
 	if err != nil {
 		return nil, err
 	}
-	return k.Exec(q)
+	return k.ExecContext(ctx, q)
 }
 
 // ExecResult is the displayable outcome of Exec: exactly one of the

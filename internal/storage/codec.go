@@ -36,7 +36,10 @@ func appendTermKey(b []byte, t term.Term) []byte {
 	case term.KindString:
 		b = append(b, tagString)
 	default:
-		panic(fmt.Sprintf("storage: unknown term kind %d", t.Kind()))
+		// An unknown kind cannot reach the durable encoding (encodeFact
+		// validates), but in-memory keys must stay total and
+		// deterministic — tag it distinctly instead of panicking.
+		b = append(b, '?')
 	}
 	b = binary.AppendUvarint(b, uint64(len(t.Name())))
 	return append(b, t.Name()...)
@@ -74,15 +77,22 @@ func decodeTerm(b []byte) (term.Term, []byte, error) {
 	}
 }
 
-// encodeFact serializes (pred, tuple) for the snapshot and WAL.
-func encodeFact(pred string, t Tuple) []byte {
+// encodeFact serializes (pred, tuple) for the snapshot and WAL. A term
+// of unknown kind is a caller bug, reported as an error so it cannot
+// poison the durable files with undecodable records.
+func encodeFact(pred string, t Tuple) ([]byte, error) {
 	b := binary.AppendUvarint(nil, uint64(len(pred)))
 	b = append(b, pred...)
 	b = binary.AppendUvarint(b, uint64(len(t)))
 	for _, x := range t {
+		switch x.Kind() {
+		case term.KindVar, term.KindSymbol, term.KindNumber, term.KindString:
+		default:
+			return nil, fmt.Errorf("storage: cannot encode term of unknown kind %d in %s%v", x.Kind(), pred, t)
+		}
 		b = appendTermKey(b, x)
 	}
-	return b
+	return b, nil
 }
 
 // decodeFact parses a record produced by encodeFact.

@@ -1,0 +1,196 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kdb/internal/term"
+)
+
+// TestWALTornTailRecovery simulates a crash mid-append: garbage partial
+// frame bytes at the end of the log must be truncated on reopen, keeping
+// every fully written record.
+func TestWALTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := []Tuple{
+		{term.Sym("a"), term.Num(1)},
+		{term.Sym("b"), term.Num(2)},
+		{term.Sym("c"), term.Num(3)},
+	}
+	for _, f := range facts {
+		if _, err := s.Insert("p", f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash tail: a length header promising more bytes than exist.
+	path := filepath.Join(dir, walName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x40, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after torn tail: %v", err)
+	}
+	if got := s2.Count("p"); got != len(facts) {
+		t.Fatalf("recovered %d facts, want %d", got, len(facts))
+	}
+	// The log must be clean again: appends and another reopen round-trip.
+	if _, err := s2.Insert("p", Tuple{term.Sym("d"), term.Num(4)}); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if got := s3.Count("p"); got != len(facts)+1 {
+		t.Errorf("after torn-tail truncation recovered %d facts, want %d", got, len(facts)+1)
+	}
+}
+
+// TestWALAppendFailureRewind drives the rewind path directly: a partial
+// frame left in the buffer by a failed append must not corrupt records
+// appended afterwards.
+func TestWALAppendFailureRewind(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, walName)
+	w, err := openWAL(path, func(string, Tuple) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.append("p", Tuple{term.Sym("a")}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a failed append: partial frame bytes buffered (and even
+	// flushed) past the durable boundary, then the rewind.
+	w.mu.Lock()
+	w.w.Write([]byte{0x7f, 0x01, 0x02})
+	w.w.Flush()
+	w.recoverLocked(errors.New("injected write failure"))
+	w.mu.Unlock()
+	if w.failed != nil {
+		t.Fatalf("rewind on a healthy file must succeed: %v", w.failed)
+	}
+	if err := w.append("p", Tuple{term.Sym("b")}); err != nil {
+		t.Fatalf("append after rewind: %v", err)
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	_, err = func() (*wal, error) {
+		return openWAL(path, func(pred string, tp Tuple) error {
+			got = append(got, tp[0].Name())
+			return nil
+		})
+	}()
+	if err != nil {
+		t.Fatalf("replay after rewind: %v", err)
+	}
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("replayed %v, want [a b]", got)
+	}
+}
+
+// TestWALPoisonIsSticky: when even the rewind fails, the WAL must refuse
+// all further appends rather than risk silent corruption.
+func TestWALPoisonIsSticky(t *testing.T) {
+	dir := t.TempDir()
+	w, err := openWAL(filepath.Join(dir, walName), func(string, Tuple) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Close the file underneath the WAL: the flush fails, and so does the
+	// rewind (truncate on a closed file), poisoning the log.
+	w.f.Close()
+	if err := w.append("p", Tuple{term.Sym("a")}); err == nil {
+		t.Fatal("append on a closed file must fail")
+	}
+	err = w.append("p", Tuple{term.Sym("b")})
+	if err == nil || !errors.Is(err, w.failed) {
+		t.Fatalf("second append = %v, want the sticky poison error", err)
+	}
+}
+
+// TestCheckpointClearsPoison: a successful snapshot captures every stored
+// fact, so Checkpoint must reset a poisoned WAL back to a working state.
+func TestCheckpointClearsPoison(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Insert("p", Tuple{term.Sym("a")}); err != nil {
+		t.Fatal(err)
+	}
+	s.wal.mu.Lock()
+	s.wal.failed = errors.New("injected poison")
+	s.wal.mu.Unlock()
+	if _, err := s.Insert("p", Tuple{term.Sym("b")}); err == nil {
+		t.Fatal("insert against a poisoned WAL must fail")
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint must recover a poisoned WAL: %v", err)
+	}
+	if _, err := s.Insert("p", Tuple{term.Sym("c")}); err != nil {
+		t.Fatalf("insert after checkpoint: %v", err)
+	}
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	// "b" was rejected by the poisoned WAL but had already entered the
+	// in-memory relation before the append; the snapshot captured it.
+	if got := s2.Count("p"); got != 3 {
+		t.Errorf("recovered %d facts, want 3", got)
+	}
+}
+
+// TestWALDurableOffsetTracksAppends: the recorded durable boundary must
+// equal the real file size after every successful append, or rewinds
+// would land mid-record.
+func TestWALDurableOffsetTracksAppends(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, walName)
+	w, err := openWAL(path, func(string, Tuple) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	for i, tp := range []Tuple{
+		{},
+		{term.Sym("x")},
+		{term.Num(3.14), term.Str("long string to vary the record size considerably")},
+	} {
+		if err := w.append("p", tp); err != nil {
+			t.Fatal(err)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.durable != st.Size() {
+			t.Fatalf("append %d: durable = %d, file size = %d", i, w.durable, st.Size())
+		}
+	}
+}

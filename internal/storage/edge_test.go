@@ -8,23 +8,18 @@ import (
 	"kdb/internal/term"
 )
 
-func TestNewRelationPanicsOnBadArity(t *testing.T) {
+func TestNewRelationRejectsBadArity(t *testing.T) {
 	for _, arity := range []int{-1, 64} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("NewRelation(%d) must panic", arity)
-				}
-			}()
-			NewRelation(arity)
-		}()
+		if _, err := NewRelation(arity); err == nil {
+			t.Errorf("NewRelation(%d) must fail", arity)
+		}
 	}
 	// 0 and 63 are fine.
-	if r := NewRelation(0); r.Arity() != 0 {
-		t.Error("arity 0 must be allowed (propositional facts)")
+	if r, err := NewRelation(0); err != nil || r.Arity() != 0 {
+		t.Errorf("arity 0 must be allowed (propositional facts): %v", err)
 	}
-	if r := NewRelation(63); r.Arity() != 63 {
-		t.Error("arity 63 must be allowed")
+	if r, err := NewRelation(63); err != nil || r.Arity() != 63 {
+		t.Errorf("arity 63 must be allowed: %v", err)
 	}
 }
 
@@ -164,7 +159,7 @@ func TestTupleCloneIndependence(t *testing.T) {
 }
 
 func TestSelectEmptyRelation(t *testing.T) {
-	r := NewRelation(2)
+	r := mustRelation(t, 2)
 	n := 0
 	if err := r.Select([]term.Term{term.Var("X"), term.Var("Y")}, func(Tuple) bool { n++; return true }); err != nil {
 		t.Fatal(err)

@@ -65,16 +65,19 @@ type Relation struct {
 	counters atomic.Pointer[Counters]
 }
 
-// NewRelation returns an empty relation of the given arity.
-func NewRelation(arity int) *Relation {
+// NewRelation returns an empty relation of the given arity. The arity
+// must be in [0, 63]: column-bitmask indexes use one bit per position.
+// A hostile or malformed input (e.g. a parsed atom with 64+ arguments)
+// surfaces as an error, not a panic.
+func NewRelation(arity int) (*Relation, error) {
 	if arity < 0 || arity > 63 {
-		panic(fmt.Sprintf("storage: unsupported arity %d", arity))
+		return nil, fmt.Errorf("storage: unsupported arity %d (must be 0..63)", arity)
 	}
 	return &Relation{
 		arity:   arity,
 		present: make(map[string]int),
 		indexes: make(map[uint64]map[string][]int),
-	}
+	}, nil
 }
 
 // Arity returns the relation's arity.

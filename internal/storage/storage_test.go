@@ -14,8 +14,17 @@ import (
 
 func tup(args ...term.Term) Tuple { return Tuple(args) }
 
+func mustRelation(t *testing.T, arity int) *Relation {
+	t.Helper()
+	r, err := NewRelation(arity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 func TestRelationInsertAndDedup(t *testing.T) {
-	r := NewRelation(2)
+	r := mustRelation(t, 2)
 	fresh, err := r.Insert(tup(term.Sym("a"), term.Num(1)))
 	if err != nil || !fresh {
 		t.Fatalf("first insert: fresh=%v err=%v", fresh, err)
@@ -36,7 +45,7 @@ func TestRelationInsertAndDedup(t *testing.T) {
 }
 
 func TestRelationInsertErrors(t *testing.T) {
-	r := NewRelation(2)
+	r := mustRelation(t, 2)
 	if _, err := r.Insert(tup(term.Sym("a"))); err == nil {
 		t.Error("wrong arity must fail")
 	}
@@ -66,7 +75,7 @@ func TestTupleKeyDistinguishesKinds(t *testing.T) {
 }
 
 func TestRelationScanOrder(t *testing.T) {
-	r := NewRelation(1)
+	r := mustRelation(t, 1)
 	for i := 0; i < 5; i++ {
 		if _, err := r.Insert(tup(term.Num(float64(i)))); err != nil {
 			t.Fatal(err)
@@ -91,7 +100,7 @@ func TestRelationScanOrder(t *testing.T) {
 }
 
 func TestRelationSelect(t *testing.T) {
-	r := NewRelation(3)
+	r := mustRelation(t, 3)
 	data := []Tuple{
 		tup(term.Sym("ann"), term.Sym("math"), term.Num(3.9)),
 		tup(term.Sym("bob"), term.Sym("cs"), term.Num(3.5)),
@@ -136,7 +145,7 @@ func TestRelationSelect(t *testing.T) {
 }
 
 func TestRelationSelectRepeatedVariable(t *testing.T) {
-	r := NewRelation(2)
+	r := mustRelation(t, 2)
 	for _, d := range []Tuple{
 		tup(term.Sym("a"), term.Sym("a")),
 		tup(term.Sym("a"), term.Sym("b")),
@@ -458,7 +467,11 @@ func TestQuickCodecRoundTrip(t *testing.T) {
 			}
 		}
 		pred := fmt.Sprintf("pred%d", r.Intn(10))
-		got, gotTuple, err := decodeFact(encodeFact(pred, tp))
+		enc, err := encodeFact(pred, tp)
+		if err != nil {
+			return false
+		}
+		got, gotTuple, err := decodeFact(enc)
 		if err != nil || got != pred || len(gotTuple) != len(tp) {
 			return false
 		}
@@ -475,7 +488,10 @@ func TestQuickCodecRoundTrip(t *testing.T) {
 }
 
 func TestDecodeFactErrors(t *testing.T) {
-	good := encodeFact("p", tup(term.Num(1), term.Sym("a")))
+	good, err := encodeFact("p", tup(term.Num(1), term.Sym("a")))
+	if err != nil {
+		t.Fatal(err)
+	}
 	for cut := 0; cut < len(good); cut++ {
 		if _, _, err := decodeFact(good[:cut]); err == nil {
 			t.Errorf("truncation at %d must fail", cut)

@@ -99,7 +99,12 @@ func (s *Store) insertLocked(pred string, t Tuple) (bool, error) {
 	s.mu.Lock()
 	r, ok := s.rels[pred]
 	if !ok {
-		r = NewRelation(len(t))
+		var err error
+		r, err = NewRelation(len(t))
+		if err != nil {
+			s.mu.Unlock()
+			return false, err
+		}
 		s.rels[pred] = r
 	}
 	s.mu.Unlock()

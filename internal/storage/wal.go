@@ -88,11 +88,20 @@ type wal struct {
 	path string
 	f    *os.File
 	w    *bufio.Writer
+	// durable is the file offset up to which every record is known fully
+	// written and synced. A failed append rewinds the log to this
+	// boundary so a partial frame never prefixes later records.
+	durable int64
+	// failed, once set, poisons the log: the rewind after a failed
+	// append itself failed, so the on-disk/in-buffer state is unknown
+	// and every later append returns this error.
+	failed error
 }
 
 // openWAL opens (or creates) the log at path, replaying every valid
 // record through apply. A torn tail is truncated so the next append
-// starts from a clean boundary.
+// starts from a clean boundary. A freshly created log's directory entry
+// is fsynced so the file itself survives a crash.
 func openWAL(path string, apply func(pred string, t Tuple) error) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
@@ -111,7 +120,7 @@ func openWAL(path string, apply func(pred string, t Tuple) error) (*wal, error) 
 		f.Close()
 		return nil, fmt.Errorf("storage: seek wal: %w", err)
 	}
-	w := &wal{path: path, f: f, w: bufio.NewWriter(f)}
+	w := &wal{path: path, f: f, w: bufio.NewWriter(f), durable: validEnd}
 	if validEnd == 0 {
 		if _, err := w.w.WriteString(walMagic); err != nil {
 			f.Close()
@@ -121,8 +130,31 @@ func openWAL(path string, apply func(pred string, t Tuple) error) (*wal, error) 
 			f.Close()
 			return nil, err
 		}
+		w.durable = int64(len(walMagic))
+		if err := syncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	return w, nil
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry in
+// it is durable. Without it a crash can lose the file itself even
+// though its contents were synced.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: open dir for sync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("storage: sync dir: %w", err)
+	}
+	return nil
 }
 
 // replayWAL applies all valid records and returns the offset of the last
@@ -171,14 +203,47 @@ func uvarintLen(v uint64) int {
 	return binary.PutUvarint(buf[:], v)
 }
 
-// append logs one insertion and syncs it to stable storage.
+// append logs one insertion and syncs it to stable storage. On failure
+// the log is rewound to its last durable record boundary, so a torn
+// frame left in the buffer (or the file) can never corrupt the records
+// appended after it; if even the rewind fails, the log is poisoned and
+// every later append reports the sticky error.
 func (w *wal) append(pred string, t Tuple) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := writeRecord(w.w, encodeFact(pred, t)); err != nil {
+	if w.failed != nil {
+		return fmt.Errorf("storage: wal poisoned by earlier failure: %w", w.failed)
+	}
+	payload, err := encodeFact(pred, t)
+	if err != nil {
+		return err // nothing was buffered; the log is still clean
+	}
+	if err := writeRecord(w.w, payload); err != nil {
+		w.recoverLocked(err)
 		return err
 	}
-	return w.flushLocked()
+	if err := w.flushLocked(); err != nil {
+		w.recoverLocked(err)
+		return err
+	}
+	w.durable += int64(uvarintLen(uint64(len(payload)))) + int64(len(payload)) + 4
+	return nil
+}
+
+// recoverLocked rewinds the log to the last durable boundary after a
+// failed append: the file is truncated to the durable offset and the
+// buffered writer is reset so the partial frame's bytes are dropped.
+// If the rewind fails the log is poisoned.
+func (w *wal) recoverLocked(cause error) {
+	if err := w.f.Truncate(w.durable); err != nil {
+		w.failed = fmt.Errorf("%w (rewind truncate failed: %v)", cause, err)
+		return
+	}
+	if _, err := w.f.Seek(w.durable, io.SeekStart); err != nil {
+		w.failed = fmt.Errorf("%w (rewind seek failed: %v)", cause, err)
+		return
+	}
+	w.w.Reset(w.f)
 }
 
 func (w *wal) flush() error {
@@ -194,24 +259,28 @@ func (w *wal) flushLocked() error {
 	return w.f.Sync()
 }
 
-// reset truncates the log after a successful snapshot.
+// reset truncates the log after a successful snapshot. It also clears a
+// poisoned state: the snapshot captured every stored fact, so the old
+// log content no longer matters.
 func (w *wal) reset() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.w.Flush(); err != nil {
-		return err
-	}
+	w.w.Reset(w.f) // drop any buffered partial frame
 	if err := w.f.Truncate(0); err != nil {
 		return err
 	}
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
-	w.w.Reset(w.f)
 	if _, err := w.w.WriteString(walMagic); err != nil {
 		return err
 	}
-	return w.flushLocked()
+	if err := w.flushLocked(); err != nil {
+		return err
+	}
+	w.durable = int64(len(walMagic))
+	w.failed = nil
+	return nil
 }
 
 func (w *wal) close() error {
@@ -251,7 +320,10 @@ func (s *Store) writeSnapshot(path string) error {
 	var werr error
 	for _, p := range preds {
 		rels[p].Scan(func(t Tuple) bool {
-			werr = writeRecord(w, encodeFact(p, t))
+			var payload []byte
+			if payload, werr = encodeFact(p, t); werr == nil {
+				werr = writeRecord(w, payload)
+			}
 			return werr == nil
 		})
 		if werr != nil {
@@ -270,7 +342,11 @@ func (s *Store) writeSnapshot(path string) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("storage: snapshot rename: %w", err)
+	}
+	// The rename is only durable once the directory entry is synced.
+	return syncDir(filepath.Dir(path))
 }
 
 // loadSnapshot populates the store from a snapshot file, if present.

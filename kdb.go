@@ -37,6 +37,7 @@ import (
 	"kdb/internal/catalog"
 	"kdb/internal/core"
 	"kdb/internal/eval"
+	"kdb/internal/governor"
 	"kdb/internal/kb"
 	"kdb/internal/parser"
 	"kdb/internal/term"
@@ -61,6 +62,39 @@ type (
 	EvalStats = eval.EvalStats
 	// ComponentStats records the evaluation of one SCC of the rule graph.
 	ComponentStats = eval.ComponentStats
+)
+
+// Query-governor types: per-query resource control for every evaluation
+// path (see WithQueryLimits and the context-taking KB methods —
+// ExecContext, RetrieveContext, DescribeContext).
+type (
+	// QueryLimits are the per-query resource bounds. The zero value of
+	// every field means unlimited.
+	QueryLimits = governor.Limits
+	// LimitKind identifies which limit a LimitError reports.
+	LimitKind = governor.LimitKind
+	// LimitError reports a breached resource limit (errors.As-able).
+	LimitError = governor.LimitError
+	// PanicError is an internal panic contained at an engine boundary
+	// and surfaced as an error, with the stack at the panic site.
+	PanicError = governor.PanicError
+	// StopError wraps the underlying breach of a governed retrieve stop
+	// and carries the statistics snapshot at stop time (its EvalStats
+	// has StopReason set).
+	StopError = eval.StopError
+)
+
+// ErrCanceled matches (via errors.Is) every error returned for a
+// canceled or expired query context. The concrete error also wraps the
+// context cause, so errors.Is(err, context.DeadlineExceeded) works.
+var ErrCanceled = governor.ErrCanceled
+
+// Limit kinds reported by LimitError.
+const (
+	LimitFacts         = governor.LimitFacts
+	LimitIterations    = governor.LimitIterations
+	LimitTableEntries  = governor.LimitTableEntries
+	LimitDescribeNodes = governor.LimitDescribeNodes
 )
 
 // Term-language types.
@@ -138,6 +172,13 @@ func Open(dir string, opts ...Option) (*KB, error) { return kb.Open(dir, opts...
 // dependency graph) the bottom-up engines may evaluate concurrently.
 // n <= 0 selects GOMAXPROCS; the default is 1 (sequential).
 func WithParallelism(n int) Option { return kb.WithParallelism(n) }
+
+// WithQueryLimits sets the per-query resource limits the query governor
+// enforces on every retrieve and describe evaluation: maximum wall
+// time, derived facts, fixpoint iterations per stratum, top-down table
+// entries, and describe search steps. Zero fields are unlimited;
+// context cancellation (ExecContext and friends) is honored regardless.
+func WithQueryLimits(l QueryLimits) Option { return kb.WithQueryLimits(l) }
 
 // ParseProgram parses knowledge-base source text (facts, rules,
 // declarations).
