@@ -1,12 +1,16 @@
-// Command kdb-check statically validates knowledge-base program files:
-// parse errors, arity conflicts, rule safety (range restriction), and the
-// paper's §2.1 recursion discipline (strong linearity and typedness of
-// recursive rules). Exit status 0 means clean; 1 means errors; warnings
-// alone keep status 0 unless -strict.
+// Command kdb-check statically validates knowledge-base program files
+// with the full analysis suite — parse errors, rule safety (range
+// restriction), arity conflicts, undefined and unused predicates, the
+// paper's §2.1 recursion discipline and per-component classification,
+// unsatisfiable rule bodies, and duplicate rules — then checks the
+// shipped facts against the integrity constraints. Exit status 0 means
+// clean; 1 means errors; warnings alone keep status 0 unless -strict.
 //
 // Usage:
 //
 //	kdb-check [-strict] program.kdb ...
+//
+// `kdb check` runs the same static suite with JSON output support.
 package main
 
 import (
@@ -16,9 +20,6 @@ import (
 	"os"
 
 	"kdb"
-	"kdb/internal/depgraph"
-	"kdb/internal/eval"
-	"kdb/internal/transform"
 )
 
 func main() {
@@ -27,7 +28,7 @@ func main() {
 
 func run(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("kdb-check", flag.ContinueOnError)
-	strict := fs.Bool("strict", false, "treat discipline warnings as errors")
+	strict := fs.Bool("strict", false, "treat warnings as errors")
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
 		return 1
@@ -47,27 +48,38 @@ func run(args []string, out io.Writer) int {
 }
 
 func checkFile(path string, out io.Writer) (errors, warnings int) {
-	k := kdb.New()
-	if err := k.LoadFile(path); err != nil {
+	src, err := os.ReadFile(path)
+	if err != nil {
 		fmt.Fprintf(out, "%s: error: %v\n", path, err)
 		return 1, 0
 	}
-	rules := k.Rules()
-
-	// Safety (range restriction).
-	if err := eval.CheckSafety(rules); err != nil {
+	prog, err := kdb.ParseProgramFile(path, string(src))
+	if err != nil {
 		fmt.Fprintf(out, "%s: error: %v\n", path, err)
-		errors++
+		return 1, 0
 	}
 
-	// §2.1 discipline.
-	g := depgraph.New(rules)
-	for _, v := range g.CheckDiscipline() {
-		fmt.Fprintf(out, "%s: warning: %s (describe will use the bounded §5.3 mode)\n", path, v)
-		warnings++
+	// The static suite. Diagnostics are source-anchored, so they print
+	// with the file position already attached.
+	rep := kdb.Analyze(prog)
+	for _, d := range rep.Diagnostics {
+		if d.Severity >= kdb.SevWarning {
+			fmt.Fprintln(out, d)
+		}
+	}
+	errors = len(rep.Errors())
+	warnings = len(rep.Warnings())
+	if errors > 0 {
+		return errors, warnings
 	}
 
-	// Integrity constraints against the shipped facts.
+	// Integrity constraints against the shipped facts (a data-level
+	// check the static suite cannot do).
+	k := kdb.New()
+	if err := k.LoadProgram(prog); err != nil {
+		fmt.Fprintf(out, "%s: error: %v\n", path, err)
+		return errors + 1, warnings
+	}
 	violations, err := k.CheckConstraints()
 	if err != nil {
 		fmt.Fprintf(out, "%s: error: %v\n", path, err)
@@ -78,20 +90,13 @@ func checkFile(path string, out io.Writer) (errors, warnings int) {
 		errors++
 	}
 
-	// Transformation dry run: surfaces degenerate recursion early.
-	if _, err := transform.Apply(rules); err != nil {
-		fmt.Fprintf(out, "%s: error: transformation failed: %v\n", path, err)
-		errors++
-	}
-
 	if errors == 0 {
-		cat := k.Catalog()
-		fmt.Fprintf(out, "%s: ok — %d facts, %d rules", path, k.FactCount(), len(rules))
+		fmt.Fprintf(out, "%s: ok — %d facts, %d rules", path, k.FactCount(), len(k.Rules()))
 		if warnings > 0 {
 			fmt.Fprintf(out, ", %d warnings", warnings)
 		}
 		fmt.Fprintln(out)
-		fmt.Fprint(out, cat)
+		fmt.Fprint(out, k.Catalog())
 	}
 	return errors, warnings
 }

@@ -273,6 +273,7 @@ func main() {
 
 func run(dataDir string, showStats bool, out io.Writer) int {
 	fmt.Fprintln(out, "kdb-experiments — reproducing the worked examples of Motro & Yuan, SIGMOD 1990")
+	printProfiles(dataDir, out)
 	fmt.Fprintln(out)
 	pass, fail := 0, 0
 	for _, e := range experiments() {
@@ -289,6 +290,31 @@ func run(dataDir string, showStats bool, out io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// printProfiles runs the static-analysis suite over the experiment
+// datasets and prints each program profile (rule counts per recursion
+// classification) in the output header, so a reader knows which
+// describe algorithm the experiments exercise before the results.
+func printProfiles(dataDir string, out io.Writer) {
+	for _, name := range []string{"university.kdb", "routes.kdb"} {
+		path := filepath.Join(dataDir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		prog, err := kdb.ParseProgramFile(path, string(src))
+		if err != nil {
+			fmt.Fprintf(out, "profile %s: parse error: %v\n", name, err)
+			continue
+		}
+		rep := kdb.Analyze(prog)
+		fmt.Fprintf(out, "profile %s: %s", name, rep.Profile)
+		if n := len(rep.Errors()) + len(rep.Warnings()); n > 0 {
+			fmt.Fprintf(out, " — %d finding(s), run `kdb check %s`", n, path)
+		}
+		fmt.Fprintln(out)
+	}
 }
 
 func runOne(e experiment, dataDir string, showStats bool, out io.Writer) bool {

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kdb"
+)
+
+func writeProgram(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.kdb")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckCommandClean(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"check", dataFile(t)}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("clean file failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 error(s)") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestCheckCommandErrors(t *testing.T) {
+	path := writeProgram(t, "e(1).\np(X, Y) :- e(X).\n")
+	var out bytes.Buffer
+	err := run([]string{"check", path}, strings.NewReader(""), &out)
+	if err == nil {
+		t.Fatalf("unsafe program passed:\n%s", out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "unsafe rule") || !strings.Contains(got, path+":2:1") {
+		t.Errorf("diagnostic not source-anchored: %q", got)
+	}
+}
+
+func TestCheckCommandStrict(t *testing.T) {
+	path := writeProgram(t, "conn(a, b).\nreach(X, Y) :- conn(X, Y).\nreach(X, Y) :- reach(Y, X).\n")
+	var out bytes.Buffer
+	if err := run([]string{"check", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("warnings alone must pass: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := run([]string{"check", "-strict", path}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("-strict must fail on warnings")
+	}
+}
+
+func TestCheckCommandJSONRoundTrip(t *testing.T) {
+	path := writeProgram(t, `
+conn(a, b).
+orphan(1).
+reach(X, Y) :- conn(X, Y).
+reach(X, Y) :- reach(Y, X).
+dead(X) :- conn(X, Y), X > 3, X < 2.
+`)
+	var out bytes.Buffer
+	if err := run([]string{"check", "-json", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("check -json: %v\n%s", err, out.String())
+	}
+	var results []struct {
+		File   string      `json:"file"`
+		Report *kdb.Report `json:"report"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &results); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(results) != 1 || results[0].File != path || results[0].Report == nil {
+		t.Fatalf("bad results: %+v", results)
+	}
+	rep := results[0].Report
+	if len(rep.Warnings()) == 0 {
+		t.Errorf("expected warnings in %+v", rep.Diagnostics)
+	}
+	// Full round-trip: re-marshal and compare canonical forms.
+	again, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back kdb.Report
+	if err := json.Unmarshal(again, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != rep.String() {
+		t.Errorf("round-trip changed the report:\n%s\nvs\n%s", rep, &back)
+	}
+}
+
+func TestLintFlagPrintsReport(t *testing.T) {
+	path := writeProgram(t, "conn(a, b).\nreach(X, Y) :- conn(X, Y).\nreach(X, Y) :- reach(Y, X).\n")
+	var out bytes.Buffer
+	if err := run([]string{"-q", "-lint", "-exec", "retrieve conn(X, Y).", path}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "[recursion]") {
+		t.Errorf("lint report missing: %q", out.String())
+	}
+}

@@ -5,15 +5,26 @@
 // Usage:
 //
 //	kdb [flags] [program.kdb ...]
+//	kdb check [-json] [-strict] program.kdb ...
 //
 // With -exec the given queries run and the program exits; otherwise an
 // interactive prompt reads statements (terminated by '.') and meta
 // commands (starting with '.'). Type `.help` at the prompt.
+//
+// The check subcommand runs the static-analysis suite over program
+// files without loading them into a database: source-anchored
+// diagnostics (safety, arity, undefined/unused predicates, recursion
+// classification, contradictions, duplicate rules) print per file,
+// human-readable by default or as JSON with -json. Exit status is 1
+// when any file has error-severity diagnostics (or warnings, with
+// -strict). The -lint flag of the main command prints the same report
+// after loading program files.
 package main
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -34,6 +45,9 @@ func main() {
 }
 
 func run(args []string, in io.Reader, out io.Writer) error {
+	if len(args) > 0 && args[0] == "check" {
+		return runCheck(args[1:], out)
+	}
 	fs := flag.NewFlagSet("kdb", flag.ContinueOnError)
 	var (
 		dbDir    = fs.String("db", "", "durable database directory (default: in-memory)")
@@ -44,6 +58,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		parallel = fs.Int("parallel", 1, "bottom-up evaluation workers (0 = GOMAXPROCS)")
 		timeout  = fs.Duration("timeout", 0, "per-query wall-time limit (0 = unlimited)")
 		maxFacts = fs.Int("max-facts", 0, "per-query derived-fact limit (0 = unlimited)")
+		lint     = fs.Bool("lint", false, "print the static-analysis report after loading program files")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -88,6 +103,11 @@ func run(args []string, in io.Reader, out io.Writer) error {
 			fmt.Fprintf(out, "loaded %s (%d facts, %d rules)\n", path, k.FactCount(), len(k.Rules()))
 		}
 	}
+	if *lint {
+		if rep := k.Diagnostics(); rep != nil {
+			fmt.Fprint(out, rep)
+		}
+	}
 
 	if *exec != "" {
 		queries, err := kdb.ParseQueries(*exec)
@@ -109,6 +129,76 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 
 	return sh.repl(in, out, *quiet)
+}
+
+// checkedFile is the per-file outcome of `kdb check`, shaped for both
+// renderings: the JSON output is an array of these.
+type checkedFile struct {
+	File string `json:"file"`
+	// Report is the analysis report; nil when the file did not parse.
+	Report *kdb.Report `json:"report,omitempty"`
+	// Error is the parse failure, when there is one.
+	Error string `json:"error,omitempty"`
+}
+
+// runCheck implements the `kdb check` subcommand: the static-analysis
+// suite over program files, with no database involved.
+func runCheck(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("kdb check", flag.ContinueOnError)
+	var (
+		asJSON = fs.Bool("json", false, "emit the reports as JSON")
+		strict = fs.Bool("strict", false, "treat warnings as errors for the exit status")
+	)
+	fs.SetOutput(out)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: kdb check [-json] [-strict] program.kdb ...")
+	}
+	var results []checkedFile
+	failed := 0
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			results = append(results, checkedFile{File: path, Error: err.Error()})
+			failed++
+			continue
+		}
+		prog, err := kdb.ParseProgramFile(path, string(src))
+		if err != nil {
+			results = append(results, checkedFile{File: path, Error: err.Error()})
+			failed++
+			continue
+		}
+		rep := kdb.Analyze(prog)
+		results = append(results, checkedFile{File: path, Report: rep})
+		if rep.HasErrors() || (*strict && len(rep.Warnings()) > 0) {
+			failed++
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			return err
+		}
+	} else {
+		for _, r := range results {
+			if r.Error != "" {
+				fmt.Fprintf(out, "%s: error: %s\n", r.File, r.Error)
+				continue
+			}
+			if len(results) > 1 {
+				fmt.Fprintf(out, "== %s\n", r.File)
+			}
+			fmt.Fprint(out, r.Report)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("check: %d of %d file(s) failed", failed, len(results))
+	}
+	return nil
 }
 
 // shell bundles the KB with the REPL's display switches and the
@@ -253,6 +343,7 @@ meta commands:
   .rules         list the IDB rules
   .preds         list the catalog
   .validate      check the §2.1 recursion discipline
+  .check         print the static-analysis report of the loaded program
   .engine NAME   switch retrieve engine (naive, seminaive, topdown, magic)
   .parallel N    bottom-up evaluation workers (0 = GOMAXPROCS)
   .stats on|off  print evaluation statistics after each retrieve
@@ -293,6 +384,12 @@ meta commands:
 		}
 		for _, s := range violations {
 			fmt.Fprintln(out, "violation:", s)
+		}
+	case ".check":
+		if rep := k.Diagnostics(); rep != nil {
+			fmt.Fprint(out, rep)
+		} else {
+			fmt.Fprintln(out, "nothing loaded yet")
 		}
 	case ".engine":
 		if len(fields) != 2 {

@@ -1,0 +1,383 @@
+package analysis
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"kdb/internal/parser"
+)
+
+func mustProgram(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := parser.ParseProgramFile("test.kdb", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return FromProgram(prog)
+}
+
+// find returns the diagnostics of one analyzer.
+func find(rep *Report, analyzer string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range rep.Diagnostics {
+		if d.Analyzer == analyzer {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestSafetyAnalyzer(t *testing.T) {
+	rep := Run(mustProgram(t, `
+e(1).
+p(X, Y) :- e(X).
+q(X) :- e(X), X > Z.
+`))
+	diags := find(rep, "safety")
+	if len(diags) != 2 {
+		t.Fatalf("want 2 safety diagnostics, got %d: %v", len(diags), diags)
+	}
+	if diags[0].Severity != SevError || !strings.Contains(diags[0].Message, "head variable Y") {
+		t.Errorf("bad head diagnostic: %+v", diags[0])
+	}
+	if diags[0].Pos.Line != 3 || diags[0].Pos.File != "test.kdb" {
+		t.Errorf("bad position: %+v", diags[0].Pos)
+	}
+	if !strings.Contains(diags[1].Message, "comparison variable Z") {
+		t.Errorf("bad comparison diagnostic: %+v", diags[1])
+	}
+	if !rep.HasErrors() {
+		t.Error("report should have errors")
+	}
+}
+
+func TestSafetyEqualityPropagation(t *testing.T) {
+	rep := Run(mustProgram(t, `
+e(1).
+p(Y) :- e(X), Y = X.
+`))
+	if diags := find(rep, "safety"); len(diags) != 0 {
+		t.Errorf("equality-bound head var flagged: %v", diags)
+	}
+}
+
+func TestArityAnalyzer(t *testing.T) {
+	rep := Run(mustProgram(t, `
+e(1, 2).
+p(X) :- e(X).
+`))
+	diags := find(rep, "arity")
+	if len(diags) != 1 {
+		t.Fatalf("want 1 arity diagnostic, got %v", diags)
+	}
+	d := diags[0]
+	if d.Severity != SevError || d.Subject != "e" || !strings.Contains(d.Message, "1 and 2") {
+		t.Errorf("bad diagnostic: %+v", d)
+	}
+}
+
+func TestUndefinedAnalyzer(t *testing.T) {
+	rep := Run(mustProgram(t, `
+e(1).
+p(X) :- e(X), ghost(X).
+:- e(X), phantom(X).
+`))
+	diags := find(rep, "undefined")
+	if len(diags) != 2 {
+		t.Fatalf("want 2 undefined diagnostics, got %v", diags)
+	}
+	subjects := map[string]bool{}
+	for _, d := range diags {
+		subjects[d.Subject] = true
+		if d.Severity != SevWarning {
+			t.Errorf("want warning, got %v", d)
+		}
+	}
+	if !subjects["ghost"] || !subjects["phantom"] {
+		t.Errorf("bad subjects: %v", subjects)
+	}
+}
+
+func TestUnusedAnalyzer(t *testing.T) {
+	rep := Run(mustProgram(t, `
+e(1).
+orphan(2).
+p(X) :- e(X).
+island_a(X) :- island_b(X).
+island_b(X) :- island_a(X).
+`))
+	diags := find(rep, "unused")
+	subjects := map[string]Severity{}
+	for _, d := range diags {
+		subjects[d.Subject] = d.Severity
+	}
+	// orphan: a stored relation nothing references (informational).
+	if sev, ok := subjects["orphan"]; !ok || sev != SevInfo {
+		t.Errorf("orphan: want info diagnostic, got %v", diags)
+	}
+	// The island cycle has no grounded derivation path: necessarily empty.
+	for _, want := range []string{"island_a", "island_b"} {
+		if sev, ok := subjects[want]; !ok || sev != SevWarning {
+			t.Errorf("%s: want never-derives warning, got %v", want, diags)
+		}
+	}
+	if _, ok := subjects["p"]; ok {
+		t.Errorf("grounded p flagged: %v", diags)
+	}
+	if _, ok := subjects["e"]; ok {
+		t.Errorf("referenced e flagged: %v", diags)
+	}
+}
+
+func TestUnusedAnalyzerSelfRecursiveRootIsClean(t *testing.T) {
+	// A self-recursive top concept with a base case is grounded — it must
+	// not be flagged even though only its own rules reference it.
+	rep := Run(mustProgram(t, `
+par(a, b).
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+`))
+	if diags := find(rep, "unused"); len(diags) != 0 {
+		t.Errorf("clean program flagged: %v", diags)
+	}
+}
+
+func TestArityAnalyzerFactConflict(t *testing.T) {
+	rep := Run(mustProgram(t, `
+student(ann).
+student(bob, cs).
+`))
+	diags := find(rep, "arity")
+	if len(diags) != 1 || diags[0].Subject != "student" {
+		t.Fatalf("want 1 arity error for student, got %v", diags)
+	}
+	if !diags[0].Pos.IsValid() {
+		t.Errorf("fact conflict not source-anchored: %+v", diags[0])
+	}
+}
+
+func TestRecursionAnalyzerTyped(t *testing.T) {
+	rep := Run(mustProgram(t, `
+par(a, b).
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+`))
+	diags := find(rep, "recursion")
+	if len(diags) != 1 {
+		t.Fatalf("want 1 recursion diagnostic, got %v", diags)
+	}
+	d := diags[0]
+	if d.Severity != SevInfo || !strings.Contains(d.Message, "strongly linear and typed") {
+		t.Errorf("bad diagnostic: %+v", d)
+	}
+}
+
+func TestRecursionAnalyzerUntyped(t *testing.T) {
+	rep := Run(mustProgram(t, `
+conn(a, b).
+reach(X, Y) :- conn(X, Y).
+reach(X, Y) :- reach(Y, X).
+`))
+	diags := find(rep, "recursion")
+	var warned, classified bool
+	for _, d := range diags {
+		if d.Severity == SevWarning && strings.Contains(d.Message, "not typed") {
+			warned = true
+		}
+		if d.Severity == SevInfo && strings.Contains(d.Message, "bounded §5.3 mode") {
+			classified = true
+		}
+	}
+	if !warned || !classified {
+		t.Errorf("want untyped warning and bounded classification, got %v", diags)
+	}
+}
+
+func TestRecursionAnalyzerDegenerate(t *testing.T) {
+	// Strongly linear and typed, but the head and the recursive body
+	// atom agree on every position and share nothing with the rest of
+	// the body: the §5.2 transformation has no shared positions.
+	rep := Run(mustProgram(t, `
+q(1).
+p(a).
+p(X) :- p(X), q(Y).
+`))
+	diags := find(rep, "recursion")
+	var degenerate bool
+	for _, d := range diags {
+		if d.Severity == SevWarning && strings.Contains(d.Message, "degenerate") {
+			degenerate = true
+		}
+	}
+	if !degenerate {
+		t.Errorf("want degenerate-recursion warning, got %v", diags)
+	}
+}
+
+func TestContradictionAnalyzer(t *testing.T) {
+	rep := Run(mustProgram(t, `
+e(1).
+p(X) :- e(X), X > 3, X < 2.
+q(X) :- e(X), X > 0.
+`))
+	diags := find(rep, "contradiction")
+	if len(diags) != 1 || diags[0].Subject != "p" {
+		t.Fatalf("want 1 contradiction diagnostic for p, got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "can never fire") {
+		t.Errorf("bad message: %v", diags[0].Message)
+	}
+}
+
+func TestDuplicateAnalyzer(t *testing.T) {
+	rep := Run(mustProgram(t, `
+e(1).
+p(X) :- e(X).
+p(Y) :- e(Y).
+q(X) :- e(X), X > 1.
+q(X) :- e(X), X > 2.
+`))
+	diags := find(rep, "duplicate")
+	if len(diags) != 1 || diags[0].Subject != "p" {
+		t.Fatalf("want 1 duplicate diagnostic for p, got %v", diags)
+	}
+	if len(diags[0].Rules) != 2 {
+		t.Errorf("want both rules attached, got %v", diags[0].Rules)
+	}
+}
+
+func TestReportOrderAndString(t *testing.T) {
+	rep := Run(mustProgram(t, `
+e(1).
+p(X, Y) :- e(X).
+q(X) :- e(X), X > 3, X < 2.
+`))
+	if len(rep.Diagnostics) < 2 {
+		t.Fatalf("want diagnostics, got %v", rep.Diagnostics)
+	}
+	for i := 1; i < len(rep.Diagnostics); i++ {
+		a, b := rep.Diagnostics[i-1], rep.Diagnostics[i]
+		if a.Pos.File == b.Pos.File && a.Pos.Line > b.Pos.Line && b.Pos.IsValid() && a.Pos.IsValid() {
+			t.Errorf("diagnostics out of order: %v before %v", a, b)
+		}
+	}
+	s := rep.String()
+	if !strings.Contains(s, "error(s)") || !strings.Contains(s, "test.kdb:") {
+		t.Errorf("bad report rendering:\n%s", s)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := Run(mustProgram(t, `
+e(1, 2).
+e(3).
+orphan(1).
+p(X, Y) :- e(X).
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+`))
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(rep.Diagnostics, back.Diagnostics) {
+		t.Errorf("diagnostics do not round-trip:\n%v\n%v", rep.Diagnostics, back.Diagnostics)
+	}
+	if rep.Profile != back.Profile {
+		t.Errorf("profile does not round-trip: %+v vs %+v", rep.Profile, back.Profile)
+	}
+}
+
+func TestSeverityJSON(t *testing.T) {
+	for _, sev := range []Severity{SevInfo, SevWarning, SevError} {
+		data, err := json.Marshal(sev)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", sev, err)
+		}
+		var back Severity
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != sev {
+			t.Errorf("round-trip %v -> %s -> %v", sev, data, back)
+		}
+	}
+	var s Severity
+	if err := json.Unmarshal([]byte(`"bogus"`), &s); err == nil {
+		t.Error("unknown severity accepted")
+	}
+}
+
+func TestProfile(t *testing.T) {
+	rep := Run(mustProgram(t, `
+par(a, b).
+sib(a, c).
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+reach(X, Y) :- par(X, Y).
+reach(X, Y) :- reach(Y, X).
+`))
+	p := rep.Profile
+	if p.EDBPreds != 2 || p.IDBPreds != 2 || p.Rules != 4 {
+		t.Errorf("bad counts: %+v", p)
+	}
+	if p.Nonrecursive != 2 || p.Typed != 1 || p.StronglyLinear != 1 {
+		t.Errorf("bad classification: %+v", p)
+	}
+	if p.RecursiveComponents != 2 {
+		t.Errorf("want 2 recursive components, got %+v", p)
+	}
+	if s := p.String(); !strings.Contains(s, "2 recursive rules") {
+		t.Errorf("bad profile string: %s", s)
+	}
+}
+
+func TestForPred(t *testing.T) {
+	rep := Run(mustProgram(t, `
+conn(a, b).
+reach(X, Y) :- conn(X, Y).
+reach(X, Y) :- reach(Y, X).
+`))
+	diags := rep.ForPred("reach")
+	if len(diags) == 0 {
+		t.Fatal("want diagnostics for reach")
+	}
+	for _, d := range diags {
+		if d.Subject != "reach" {
+			t.Errorf("wrong subject: %+v", d)
+		}
+	}
+}
+
+// TestRunConcurrent runs the suite from many goroutines over the same
+// program; the race detector guards the immutability contract.
+func TestRunConcurrent(t *testing.T) {
+	prog := mustProgram(t, `
+par(a, b).
+anc(X, Y) :- par(X, Y).
+anc(X, Y) :- par(X, Z), anc(Z, Y).
+bad(X, Y) :- par(X).
+`)
+	var wg sync.WaitGroup
+	reports := make([]*Report, 8)
+	for i := range reports {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i] = Run(prog)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(reports); i++ {
+		if !reflect.DeepEqual(reports[0].Diagnostics, reports[i].Diagnostics) {
+			t.Fatalf("nondeterministic reports:\n%v\n%v", reports[0].Diagnostics, reports[i].Diagnostics)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kdb/internal/parser"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/lint")
+
+// TestLintCorpusGolden checks every program in testdata/lint against its
+// golden report: one defect class per program, diagnostics
+// position-accurate. Regenerate with `go test ./internal/analysis
+// -run Golden -update`.
+func TestLintCorpusGolden(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "lint")
+	paths, err := filepath.Glob(filepath.Join(dir, "*.kdb"))
+	if err != nil || len(paths) == 0 {
+		t.Fatalf("no corpus under %s: %v", dir, err)
+	}
+	for _, path := range paths {
+		name := filepath.Base(path)
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Positions are anchored to the base name so the golden files
+			// stay independent of the checkout location.
+			prog, err := parser.ParseProgramFile(name, string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			got := Run(FromProgram(prog)).String()
+			golden := path[:len(path)-len(".kdb")] + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("report differs from %s:\n--- got ---\n%s--- want ---\n%s", filepath.Base(golden), got, want)
+			}
+		})
+	}
+}
+
+// FuzzAnalyzers asserts the suite never panics on any parseable
+// program — the cross-analyzer robustness contract.
+func FuzzAnalyzers(f *testing.F) {
+	dir := filepath.Join("..", "..", "testdata", "lint")
+	paths, _ := filepath.Glob(filepath.Join(dir, "*.kdb"))
+	for _, path := range paths {
+		if src, err := os.ReadFile(path); err == nil {
+			f.Add(string(src))
+		}
+	}
+	f.Add("p(X) :- p(X), q(Y).")
+	f.Add("p(a, b). p(c). q(X) :- p(X, Y), X > Y, Y > X.")
+	f.Add(":- p(X), X > 3. @key p/2 1.")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.ParseProgram(src)
+		if err != nil {
+			t.Skip()
+		}
+		rep := Run(FromProgram(prog))
+		_ = rep.String()
+	})
+}

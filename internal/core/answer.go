@@ -115,6 +115,11 @@ type Answers struct {
 	// Nodes counts the derivation-tree search steps the query took — a
 	// machine-independent cost measure for the ablation benchmarks.
 	Nodes int
+	// Notes carry advisory findings about how the answer was produced
+	// (e.g. the subject depends on recursion outside the §2.1 discipline,
+	// so the bounded §5.3 mode answered). They are attached by the caller
+	// and deliberately not rendered by String.
+	Notes []string
 }
 
 // Empty reports whether the answer carries no information.

@@ -160,6 +160,10 @@ func (g *Graph) DirectlyDependsOn(p, q string) bool { return g.direct[p][q] }
 // DependsOn reports whether p transitively depends on q (§2.1).
 func (g *Graph) DependsOn(p, q string) bool { return g.reach[p][q] }
 
+// Reach returns the set of predicates p transitively depends on. The
+// returned map is shared with the graph; callers must not mutate it.
+func (g *Graph) Reach(p string) map[string]bool { return g.reach[p] }
+
 // MutuallyDependent reports whether p and q each depend on the other.
 func (g *Graph) MutuallyDependent(p, q string) bool {
 	return g.DependsOn(p, q) && g.DependsOn(q, p)
@@ -314,14 +318,27 @@ func TypedWRT(r term.Rule, pred string) bool {
 
 // Violation describes one way a rule set departs from the paper's
 // recursion discipline (all recursive rules strongly linear and typed
-// with respect to their head predicate).
+// with respect to their head predicate). It implements error; Pos
+// (copied from the rule) points at the offending clause when known.
 type Violation struct {
 	Rule   term.Rule
 	Reason string
 }
 
-// Error renders the violation.
-func (v Violation) String() string { return fmt.Sprintf("%s: %s", v.Rule, v.Reason) }
+// Pos returns the source position of the offending rule (zero when the
+// rule was built programmatically).
+func (v Violation) Pos() term.Pos { return v.Rule.Pos }
+
+// String renders the violation.
+func (v Violation) String() string {
+	if v.Rule.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s: %s", v.Rule.Pos, v.Rule, v.Reason)
+	}
+	return fmt.Sprintf("%s: %s", v.Rule, v.Reason)
+}
+
+// Error renders the violation, making Violation usable as an error value.
+func (v Violation) Error() string { return v.String() }
 
 // CheckDiscipline verifies the paper's standing assumption (§2.1, end):
 // every recursive IDB predicate is defined by recursive rules that are

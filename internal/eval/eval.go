@@ -169,6 +169,15 @@ func buildPlan(in Input, q Query) (*plan, error) {
 // propagating bindings. It returns the first violation.
 func CheckSafety(rules []term.Rule) error { return checkSafety(rules) }
 
+// atPos renders " (at file:line:col)" for rules with a known source
+// position, so safety errors point at the offending clause.
+func atPos(r term.Rule) string {
+	if !r.Pos.IsValid() {
+		return ""
+	}
+	return fmt.Sprintf(" (at %s)", r.Pos)
+}
+
 // checkSafety verifies that every rule is range-restricted under the
 // greedy evaluation order: all head variables and all variables of
 // non-equality comparison atoms must be bound by ordinary body atoms
@@ -207,7 +216,7 @@ func checkSafety(rules []term.Rule) error {
 		}
 		for _, v := range r.Head.Vars(nil) {
 			if !bound[v] {
-				return fmt.Errorf("eval: unsafe rule %v: head variable %v is not bound by the body", r, v)
+				return fmt.Errorf("eval: unsafe rule %v%s: head variable %v is not bound by the body", r, atPos(r), v)
 			}
 		}
 		for _, a := range r.Body {
@@ -216,7 +225,7 @@ func checkSafety(rules []term.Rule) error {
 			}
 			for _, v := range a.Vars(nil) {
 				if !bound[v] {
-					return fmt.Errorf("eval: unsafe rule %v: comparison variable %v is not bound", r, v)
+					return fmt.Errorf("eval: unsafe rule %v%s: comparison variable %v is not bound", r, atPos(r), v)
 				}
 			}
 		}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"kdb/internal/analysis"
 	"kdb/internal/catalog"
 	"kdb/internal/core"
 	"kdb/internal/depgraph"
@@ -59,6 +60,10 @@ type KB struct {
 
 	// describer is rebuilt lazily after each load.
 	describer *core.Describer
+
+	// report is the static-analysis report of the most recent successful
+	// load, covering the whole accumulated program.
+	report *analysis.Report
 }
 
 // Option configures a KB at construction time.
@@ -193,13 +198,18 @@ func (k *KB) SetDescribeOptions(opts core.Options) {
 	k.mu.Unlock()
 }
 
-// LoadFile loads a .kdb program file.
+// LoadFile loads a .kdb program file. Clause positions (and hence
+// diagnostics) carry the file path.
 func (k *KB) LoadFile(path string) error {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("kb: %w", err)
 	}
-	return k.LoadString(string(src))
+	prog, err := parser.ParseProgramFile(path, string(src))
+	if err != nil {
+		return err
+	}
+	return k.LoadProgram(prog)
 }
 
 // LoadString parses and loads a program: facts into the store, rules into
@@ -215,10 +225,19 @@ func (k *KB) LoadString(src string) error {
 	return k.LoadProgram(prog)
 }
 
-// LoadProgram loads an already-parsed program.
+// LoadProgram loads an already-parsed program. The static-analysis suite
+// runs over the combined program (existing knowledge plus the new
+// clauses) before any state changes: error-severity diagnostics reject
+// the load, leaving the knowledge base untouched; warnings and infos are
+// retained and queryable via Diagnostics.
 func (k *KB) LoadProgram(prog *parser.Program) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
+
+	rep := analysis.Run(k.analysisProgramLocked(prog))
+	if rep.HasErrors() {
+		return &analysis.Error{Diags: rep.Errors()}
+	}
 
 	// Classify head predicates: any non-fact clause makes the predicate
 	// intensional. Include predicates that are already intensional.
@@ -294,7 +313,74 @@ func (k *KB) LoadProgram(prog *parser.Program) error {
 		k.constraints = append(k.constraints, ic)
 	}
 	k.describer = nil // rebuild lazily
+	k.report = rep
 	return nil
+}
+
+// analysisProgramLocked assembles the analysis view of the knowledge
+// base as it would look after loading prog: the accumulated rules and
+// constraints plus the new clauses, and the EDB schema restricted to
+// predicates that actually hold facts or carry a @key declaration (the
+// catalog also auto-declares body predicates on first use; counting
+// those as defined would blind the undefined-predicate analyzer).
+func (k *KB) analysisProgramLocked(prog *parser.Program) *analysis.Program {
+	intensional := make(map[string]bool)
+	for _, r := range k.rules {
+		intensional[r.Head.Pred] = true
+	}
+	for _, c := range prog.Clauses {
+		if !c.IsFact() {
+			intensional[c.Head.Pred] = true
+		}
+	}
+	ap := &analysis.Program{EDB: make(map[string]int)}
+	ap.Rules = append(ap.Rules, k.rules...)
+	ap.Constraints = append(ap.Constraints, k.constraints...)
+	ap.ConstraintPos = make([]term.Pos, len(k.constraints))
+	for _, p := range k.cat.Preds(catalog.ClassEDB) {
+		if intensional[p.Name] {
+			continue
+		}
+		if k.store.Count(p.Name) > 0 || len(p.Keys) > 0 {
+			ap.EDB[p.Name] = p.Arity
+		}
+	}
+	for _, c := range prog.Clauses {
+		if c.IsFact() && !intensional[c.Head.Pred] {
+			if _, ok := ap.EDB[c.Head.Pred]; !ok {
+				ap.EDB[c.Head.Pred] = c.Head.Arity()
+			}
+			ap.Facts = append(ap.Facts, c)
+		} else {
+			ap.Rules = append(ap.Rules, c)
+		}
+	}
+	for _, d := range prog.Declarations {
+		if d.Kind == parser.DeclKey && !intensional[d.Pred] {
+			if _, ok := ap.EDB[d.Pred]; !ok {
+				ap.EDB[d.Pred] = d.Arity
+			}
+		}
+	}
+	for i, ic := range prog.Constraints {
+		ap.Constraints = append(ap.Constraints, ic)
+		var pos term.Pos
+		if i < len(prog.ConstraintPos) {
+			pos = prog.ConstraintPos[i]
+		}
+		ap.ConstraintPos = append(ap.ConstraintPos, pos)
+	}
+	return ap
+}
+
+// Diagnostics returns the static-analysis report of the most recent
+// successful load (covering the whole accumulated program), or nil if
+// nothing has been loaded. The report is shared; callers must not
+// mutate it.
+func (k *KB) Diagnostics() *analysis.Report {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.report
 }
 
 func (k *KB) checkAtomArity(a term.Atom, class catalog.Class) error {
@@ -504,7 +590,7 @@ func (k *KB) DescribeOr(subject term.Atom, disjuncts []term.Formula) (*core.Answ
 // DescribeOrContext is DescribeOr under the context and the configured
 // query limits.
 func (k *KB) DescribeOrContext(ctx context.Context, subject term.Atom, disjuncts []term.Formula) (*core.Answers, error) {
-	d, err := k.getDescriber()
+	d, err := k.getDescriberFor(subject)
 	if err != nil {
 		return nil, err
 	}
@@ -513,6 +599,7 @@ func (k *KB) DescribeOrContext(ctx context.Context, subject term.Atom, disjuncts
 		return nil, err
 	}
 	k.applyDisplayNames(ans)
+	k.attachNotes(subject, ans)
 	return ans, nil
 }
 
@@ -540,6 +627,76 @@ func (k *KB) SetIntensional(on bool) {
 	k.mu.Lock()
 	k.intensional = on
 	k.mu.Unlock()
+}
+
+// getDescriberFor is getDescriber with diagnostics-aware failure: when
+// building the describe engine fails (e.g. degenerate recursion makes
+// the §5.2 transformation inapplicable), the error is replaced by the
+// stored analyzer diagnostics relevant to the subject, when there are
+// any — the caller learns which rules are at fault and why, not just
+// that the transformation failed.
+func (k *KB) getDescriberFor(subject term.Atom) (*core.Describer, error) {
+	d, err := k.getDescriber()
+	if err != nil {
+		if diags := k.describeDiagnostics(subject.Pred); len(diags) > 0 {
+			return nil, &analysis.Error{Diags: diags}
+		}
+	}
+	return d, err
+}
+
+// describeDiagnostics returns the stored diagnostics about the subject
+// predicate, its recursive component, and everything it depends on.
+func (k *KB) describeDiagnostics(pred string) []analysis.Diagnostic {
+	k.mu.RLock()
+	rep := k.report
+	rules := append([]term.Rule(nil), k.rules...)
+	k.mu.RUnlock()
+	if rep == nil {
+		return nil
+	}
+	g := depgraph.New(rules)
+	seen := make(map[string]bool)
+	var out []analysis.Diagnostic
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, rep.ForPred(p)...)
+		}
+	}
+	for _, p := range g.SCC(pred) {
+		add(p)
+	}
+	for q := range g.Reach(pred) {
+		add(q)
+	}
+	return out
+}
+
+// attachNotes records on the answers the analyzer warnings explaining a
+// degraded describe: when the subject depends on recursion outside the
+// §2.1 discipline, the bounded §5.3 mode answered, and the relevant
+// recursion diagnostics say which rules are responsible.
+func (k *KB) attachNotes(subject term.Atom, ans *core.Answers) {
+	rep := k.Diagnostics()
+	if rep == nil {
+		return
+	}
+	relevant := false
+	for _, d := range rep.Diagnostics {
+		if d.Analyzer == "recursion" && d.Severity == analysis.SevWarning {
+			relevant = true
+			break
+		}
+	}
+	if !relevant {
+		return
+	}
+	for _, d := range k.describeDiagnostics(subject.Pred) {
+		if d.Analyzer == "recursion" && d.Severity == analysis.SevWarning {
+			ans.Notes = append(ans.Notes, d.String())
+		}
+	}
 }
 
 func (k *KB) getDescriber() (*core.Describer, error) {
@@ -585,7 +742,7 @@ func (k *KB) Describe(subject term.Atom, where term.Formula) (*core.Answers, err
 // cooperatively, and MaxDescribeNodes bounds its steps as a hard error
 // (unlike the describe engine's own MaxNodes option, which truncates).
 func (k *KB) DescribeContext(ctx context.Context, subject term.Atom, where term.Formula) (*core.Answers, error) {
-	d, err := k.getDescriber()
+	d, err := k.getDescriberFor(subject)
 	if err != nil {
 		return nil, err
 	}
@@ -594,6 +751,7 @@ func (k *KB) DescribeContext(ctx context.Context, subject term.Atom, where term.
 		return nil, err
 	}
 	k.applyDisplayNames(ans)
+	k.attachNotes(subject, ans)
 	return ans, nil
 }
 
@@ -605,7 +763,7 @@ func (k *KB) DescribeNecessary(subject term.Atom, where term.Formula) (*core.Ans
 // DescribeNecessaryContext is DescribeNecessary under the context and
 // the configured query limits.
 func (k *KB) DescribeNecessaryContext(ctx context.Context, subject term.Atom, where term.Formula) (*core.Answers, error) {
-	d, err := k.getDescriber()
+	d, err := k.getDescriberFor(subject)
 	if err != nil {
 		return nil, err
 	}
@@ -614,12 +772,13 @@ func (k *KB) DescribeNecessaryContext(ctx context.Context, subject term.Atom, wh
 		return nil, err
 	}
 	k.applyDisplayNames(ans)
+	k.attachNotes(subject, ans)
 	return ans, nil
 }
 
 // DescribeNot evaluates `describe … where not h …` (§6 ext. 2).
 func (k *KB) DescribeNot(subject term.Atom, banned, positive term.Formula) (*core.Necessity, error) {
-	d, err := k.getDescriber()
+	d, err := k.getDescriberFor(subject)
 	if err != nil {
 		return nil, err
 	}

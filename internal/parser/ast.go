@@ -15,8 +15,11 @@ type Program struct {
 	// Constraints are the paper's second Horn-clause form, ¬(p1 ∧ … ∧ pn),
 	// written as a headless clause `:- p1, …, pn.`: the conjunction must
 	// never hold.
-	Constraints  []term.Formula
-	Declarations []Declaration
+	Constraints []term.Formula
+	// ConstraintPos records the source position of each constraint,
+	// parallel to Constraints.
+	ConstraintPos []term.Pos
+	Declarations  []Declaration
 }
 
 // Declaration is a schema annotation introduced with '@'.

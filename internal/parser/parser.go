@@ -9,13 +9,20 @@ import (
 // parser is a recursive-descent parser over the lexer's token stream with
 // one token of lookahead.
 type parser struct {
-	lex *lexer
-	tok Token // current token
+	lex  *lexer
+	tok  Token  // current token
+	file string // source name for rule positions ("" when unnamed)
 }
 
 func newParser(src string) (*parser, error) {
 	p := &parser{lex: newLexer(src)}
 	return p, p.advance()
+}
+
+// rulePos converts a token position into a term.Pos carrying the source
+// file name.
+func (p *parser) rulePos(pos Pos) term.Pos {
+	return term.Pos{File: p.file, Line: pos.Line, Col: pos.Col}
 }
 
 func (p *parser) advance() error {
@@ -47,12 +54,21 @@ func (p *parser) expectKeyword(kw string) error {
 }
 
 // ParseProgram parses a knowledge-base source: a sequence of facts, rules
-// and declarations, each terminated by '.'.
+// and declarations, each terminated by '.'. Clause positions are recorded
+// without a file name; use ParseProgramFile to attach one.
 func ParseProgram(src string) (*Program, error) {
+	return ParseProgramFile("", src)
+}
+
+// ParseProgramFile parses a knowledge-base source like ParseProgram and
+// stamps every clause position with the given source name (typically the
+// path of the loaded file), so diagnostics can point at file:line:col.
+func ParseProgramFile(name, src string) (*Program, error) {
 	p, err := newParser(src)
 	if err != nil {
 		return nil, err
 	}
+	p.file = name
 	prog := &Program{}
 	for p.tok.Kind != TokEOF {
 		switch p.tok.Kind {
@@ -64,11 +80,13 @@ func ParseProgram(src string) (*Program, error) {
 			prog.Declarations = append(prog.Declarations, d)
 		case TokColonDash:
 			// Headless clause: an integrity constraint ¬(p1 ∧ … ∧ pn).
+			cpos := p.rulePos(p.tok.Pos)
 			c, err := p.parseConstraint()
 			if err != nil {
 				return nil, err
 			}
 			prog.Constraints = append(prog.Constraints, c)
+			prog.ConstraintPos = append(prog.ConstraintPos, cpos)
 		default:
 			r, err := p.parseClause()
 			if err != nil {
@@ -255,8 +273,10 @@ func (p *parser) parseNameDecl(pos Pos) (Declaration, error) {
 	return d, err
 }
 
-// parseClause parses `head.` or `head :- body.`.
+// parseClause parses `head.` or `head :- body.`. The returned rule
+// carries the source position of its head.
 func (p *parser) parseClause() (term.Rule, error) {
+	pos := p.rulePos(p.tok.Pos)
 	head, err := p.parseAtom()
 	if err != nil {
 		return term.Rule{}, err
@@ -269,7 +289,7 @@ func (p *parser) parseClause() (term.Rule, error) {
 		if err := p.advance(); err != nil {
 			return term.Rule{}, err
 		}
-		return term.Rule{Head: head}, nil
+		return term.Rule{Head: head, Pos: pos}, nil
 	case TokColonDash:
 		if err := p.advance(); err != nil {
 			return term.Rule{}, err
@@ -292,7 +312,7 @@ func (p *parser) parseClause() (term.Rule, error) {
 		if _, err := p.expect(TokDot); err != nil {
 			return term.Rule{}, err
 		}
-		return term.Rule{Head: head, Body: body}, nil
+		return term.Rule{Head: head, Body: body, Pos: pos}, nil
 	default:
 		return term.Rule{}, errf(p.tok.Pos, "expected '.' or ':-' after clause head, found %s", p.tok)
 	}

@@ -91,7 +91,7 @@ func (s Subst) ApplyFormula(f Formula) Formula {
 
 // ApplyRule applies the substitution to head and body.
 func (s Subst) ApplyRule(r Rule) Rule {
-	return Rule{Head: s.Apply(r.Head), Body: s.ApplyFormula(r.Body)}
+	return Rule{Head: s.Apply(r.Head), Body: s.ApplyFormula(r.Body), Pos: r.Pos}
 }
 
 // Compose returns the composition s∘u: applying the result is equivalent

@@ -305,17 +305,52 @@ func (f Formula) SetKey() string {
 	return strings.Join(parts, "\x01")
 }
 
+// Pos is an optional source position: the file, line and column of the
+// clause head as recorded by the parser. The zero Pos means "unknown"
+// (rules built programmatically). Pos is carried alongside a Rule for
+// diagnostics only: it participates in neither Equal, String, nor Key.
+type Pos struct {
+	File string `json:"file,omitempty"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// IsValid reports whether the position is known.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders "file:line:col" ("line:col" without a file; "-" when
+// unknown).
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
 // Rule is a Horn clause of the paper's first form: head ← body, where the
 // body is a (possibly empty) positive formula. A rule with an empty body
 // and no variables is a fact.
 type Rule struct {
 	Head Atom
 	Body Formula
+	// Pos is the source position of the clause head, when known. It is
+	// metadata: Equal, String and Key ignore it, so two rules differing
+	// only in Pos are interchangeable everywhere but in diagnostics.
+	Pos Pos
 }
 
 // NewRule constructs a rule, copying both head arguments and body.
 func NewRule(head Atom, body ...Atom) Rule {
 	return Rule{Head: NewAtom(head.Pred, head.Args...), Body: Formula(body).Clone()}
+}
+
+// At returns a copy of the rule carrying the given source position.
+func (r Rule) At(pos Pos) Rule {
+	r.Pos = pos
+	return r
 }
 
 // IsFact reports whether the rule is a ground fact.

@@ -215,6 +215,47 @@ func Apply(rules []term.Rule) (*Result, error) {
 	return res, nil
 }
 
+// Probe dry-runs the transformation and reports, per disciplined
+// recursive predicate, why it cannot be transformed (degenerate
+// recursion, as surfaced by Apply's error). Predicates that transform
+// cleanly produce no entry; undisciplined recursive rules are not
+// probed — they are exempt from the transformation and handled by the
+// bounded mode (§5.3, end).
+func Probe(rules []term.Rule) map[string]error {
+	if lin, err := depgraph.MakeStronglyLinear(rules, 8); err == nil {
+		rules = lin
+	}
+	g := depgraph.New(rules)
+	recByPred := make(map[string][]term.Rule)
+	undisciplined := make(map[string]bool)
+	for _, r := range rules {
+		if !g.IsRecursiveRule(r) {
+			continue
+		}
+		if g.IsStronglyLinear(r) && depgraph.TypedWRT(r, r.Head.Pred) {
+			recByPred[r.Head.Pred] = append(recByPred[r.Head.Pred], r)
+		} else {
+			undisciplined[r.Head.Pred] = true
+		}
+	}
+	out := make(map[string]error)
+	for pred, recRules := range recByPred {
+		if undisciplined[pred] {
+			continue // whole predicate exempted, as in Apply
+		}
+		var nonRec []term.Rule
+		for _, r := range g.RulesFor(pred) {
+			if !g.IsRecursiveRule(r) {
+				nonRec = append(nonRec, r)
+			}
+		}
+		if _, err := transformPred(pred, recRules, nonRec); err != nil {
+			out[pred] = err
+		}
+	}
+	return out
+}
+
 // transformPred builds rT, rI and rC for one predicate.
 func transformPred(pred string, recRules, nonRec []term.Rule) (*Transformed, error) {
 	n := recRules[0].Head.Arity()
@@ -236,6 +277,9 @@ func transformPred(pred string, recRules, nonRec []term.Rule) (*Transformed, err
 		}
 		if idx < 0 {
 			return nil, fmt.Errorf("transform: rule %v is not strongly linear", r)
+		}
+		if r.Head.Arity() != n || r.Body[idx].Arity() != n {
+			return nil, fmt.Errorf("transform: predicate %s is used with conflicting arities", pred)
 		}
 		var w term.Formula
 		w = append(w, r.Body[:idx]...)
@@ -395,6 +439,9 @@ func candidateMappings(ri term.Rule, nonRec []term.Rule, n int) [][]int {
 // bodyCorrespondence builds a bijective variable mapping making the two
 // bodies equal atom-for-atom (in order).
 func bodyCorrespondence(a, b term.Formula) (map[term.Term]term.Term, bool) {
+	if len(a) != len(b) {
+		return nil, false
+	}
 	fwd := make(map[term.Term]term.Term)
 	rev := make(map[term.Term]term.Term)
 	for i := range a {
@@ -453,6 +500,12 @@ func mappingCoversAll(tr *Transformed, nonRec []term.Rule, pi []int) bool {
 	}
 	return true
 }
+
+// IsVariant reports whether two rules are equal up to a bijective
+// variable renaming (head and body, conjunct order sensitive). It is the
+// matching used by the modified transformation (§5.3) and by the
+// duplicate-rule analyzer.
+func IsVariant(a, b term.Rule) bool { return isVariant(a, b) }
 
 // isVariant reports whether two rules are equal up to a bijective
 // variable renaming (head and body in order).

@@ -34,6 +34,7 @@
 package kdb
 
 import (
+	"kdb/internal/analysis"
 	"kdb/internal/catalog"
 	"kdb/internal/core"
 	"kdb/internal/eval"
@@ -83,6 +84,36 @@ type (
 	// has StopReason set).
 	StopError = eval.StopError
 )
+
+// Static-analysis types: the diagnostics engine behind KB.Diagnostics,
+// load-time gating, and the `kdb check` command.
+type (
+	// Diagnostic is one source-anchored finding of one analyzer.
+	Diagnostic = analysis.Diagnostic
+	// Severity grades a diagnostic (info, warning, error).
+	Severity = analysis.Severity
+	// Report aggregates the diagnostics and the program profile of one
+	// analysis run.
+	Report = analysis.Report
+	// AnalysisError is the error a load returns when error-severity
+	// diagnostics reject the program (errors.As-able; carries the
+	// structured diagnostics).
+	AnalysisError = analysis.Error
+	// Profile summarizes a program's shape: predicate/rule counts and
+	// rule counts per recursion classification.
+	Profile = analysis.Profile
+)
+
+// Diagnostic severities.
+const (
+	SevInfo    = analysis.SevInfo
+	SevWarning = analysis.SevWarning
+	SevError   = analysis.SevError
+)
+
+// Analyze runs the full static-analysis suite over a parsed program and
+// returns the report (diagnostics plus program profile).
+func Analyze(prog *Program) *Report { return analysis.Run(analysis.FromProgram(prog)) }
 
 // ErrCanceled matches (via errors.Is) every error returned for a
 // canceled or expired query context. The concrete error also wraps the
@@ -183,6 +214,12 @@ func WithQueryLimits(l QueryLimits) Option { return kb.WithQueryLimits(l) }
 // ParseProgram parses knowledge-base source text (facts, rules,
 // declarations).
 func ParseProgram(src string) (*Program, error) { return parser.ParseProgram(src) }
+
+// ParseProgramFile parses knowledge-base source text, anchoring clause
+// positions (and hence diagnostics) to the given file name.
+func ParseProgramFile(name, src string) (*Program, error) {
+	return parser.ParseProgramFile(name, src)
+}
 
 // ParseQuery parses one query statement (retrieve / describe / compare).
 func ParseQuery(src string) (Query, error) { return parser.ParseQuery(src) }
