@@ -28,8 +28,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -59,6 +62,11 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		timeout  = fs.Duration("timeout", 0, "per-query wall-time limit (0 = unlimited)")
 		maxFacts = fs.Int("max-facts", 0, "per-query derived-fact limit (0 = unlimited)")
 		lint     = fs.Bool("lint", false, "print the static-analysis report after loading program files")
+
+		statsJSON   = fs.Bool("stats-json", false, "print evaluation statistics as JSON after each retrieve (implies -stats)")
+		traceFile   = fs.String("trace", "", "record a span trace of every query to FILE")
+		traceFormat = fs.String("trace-format", "jsonl", "trace file format: jsonl (one span per line) or chrome (trace-event JSON for Perfetto)")
+		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. localhost:6060)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -68,6 +76,46 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	opts := []kdb.Option{
 		kdb.WithParallelism(*parallel),
 		kdb.WithQueryLimits(kdb.QueryLimits{MaxWall: *timeout, MaxFacts: *maxFacts}),
+	}
+
+	// Tracing: spans stream to the trace file as each query finishes
+	// (JSONL), or buffer until exit (the Chrome format is one JSON array).
+	var tracer *kdb.Tracer
+	fileTrace := *traceFile != ""
+	if fileTrace {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tracer = kdb.NewTracer()
+		switch *traceFormat {
+		case "jsonl":
+			tracer.OnFinish(func(root *kdb.Span) { kdb.WriteTraceJSONL(f, root) })
+		case "chrome":
+			var roots []*kdb.Span
+			tracer.OnFinish(func(root *kdb.Span) { roots = append(roots, root) })
+			defer func() { kdb.WriteChromeTrace(f, roots) }()
+		default:
+			return fmt.Errorf("unknown trace format %q (want jsonl or chrome)", *traceFormat)
+		}
+		opts = append(opts, kdb.WithTracer(tracer))
+	}
+
+	// The debug endpoint carries the metrics registry; without it no
+	// metrics are collected.
+	if *debugAddr != "" {
+		reg := kdb.NewMetricsRegistry()
+		opts = append(opts, kdb.WithMetrics(reg))
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		if !*quiet {
+			fmt.Fprintf(out, "debug server on http://%s/ (metrics, expvar, pprof)\n", ln.Addr())
+		}
+		go http.Serve(ln, kdb.DebugHandler(reg))
 	}
 	var k *kdb.KB
 	var err error
@@ -83,7 +131,7 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	if err := k.SetEngine(kdb.EngineKind(*engine)); err != nil {
 		return err
 	}
-	sh := &shell{k: k, stats: *stats}
+	sh := &shell{k: k, stats: *stats || *statsJSON, statsJSON: *statsJSON, tracer: tracer, fileTrace: fileTrace}
 
 	// Ctrl-C cancels the in-flight query instead of killing the process;
 	// at an idle prompt it prints a hint.
@@ -117,7 +165,14 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		for _, q := range queries {
 			before := k.LastStats()
 			ctx, done := sh.queryContext()
-			res, err := k.ExecContext(ctx, q)
+			var res *kdb.ExecResult
+			if len(queries) == 1 {
+				// Single statement: run through the string path, so a
+				// trace records the parse phase too.
+				res, err = k.ExecStringContext(ctx, *exec)
+			} else {
+				res, err = k.ExecContext(ctx, q)
+			}
 			done()
 			if err != nil {
 				return err
@@ -204,8 +259,16 @@ func runCheck(args []string, out io.Writer) error {
 // shell bundles the KB with the REPL's display switches and the
 // cancellation handle of the in-flight query.
 type shell struct {
-	k     *kdb.KB
-	stats bool
+	k         *kdb.KB
+	stats     bool
+	statsJSON bool
+
+	// tracer is the span tracer attached to the KB (by -trace, or
+	// lazily by `.trace on`); fileTrace marks it as exporting to a file,
+	// so `.trace off` only stops the console display without detaching.
+	tracer    *kdb.Tracer
+	fileTrace bool
+	traceTree bool
 
 	mu     sync.Mutex
 	cancel context.CancelFunc
@@ -244,8 +307,30 @@ func (sh *shell) printStats(before *kdb.EvalStats, out io.Writer) {
 	if !sh.stats {
 		return
 	}
-	if st := sh.k.LastStats(); st != nil && st != before {
-		fmt.Fprintln(out, "stats:", st)
+	st := sh.k.LastStats()
+	if st == nil || st == before {
+		return
+	}
+	if sh.statsJSON {
+		b, err := json.Marshal(st)
+		if err != nil {
+			fmt.Fprintln(out, "stats: error:", err)
+			return
+		}
+		fmt.Fprintf(out, "stats: %s\n", b)
+		return
+	}
+	fmt.Fprintln(out, "stats:", st)
+}
+
+// printTrace renders the last query's span tree when `.trace on` is
+// active.
+func (sh *shell) printTrace(out io.Writer) {
+	if !sh.traceTree || sh.tracer == nil {
+		return
+	}
+	if root := sh.tracer.Last(); root != nil {
+		kdb.WriteTraceTree(out, root)
 	}
 }
 
@@ -273,7 +358,10 @@ func (sh *shell) repl(in io.Reader, out io.Writer, quiet bool) error {
 		case line == "":
 			prompt()
 			continue
-		case buf.Len() == 0 && strings.HasPrefix(line, "."):
+		case isMetaLine(line):
+			// Meta commands are recognized even while a multi-line
+			// statement is being buffered; earlier versions fed them to
+			// the parser, which produced a baffling syntax error.
 			if quit := sh.metaCommand(line, out); quit {
 				return nil
 			}
@@ -306,10 +394,12 @@ func (sh *shell) execute(stmt string, out io.Writer) {
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 				sh.printStats(before, out)
+				sh.printTrace(out)
 				return
 			}
 			fmt.Fprintln(out, res)
 			sh.printStats(before, out)
+			sh.printTrace(out)
 			return
 		}
 	}
@@ -318,6 +408,22 @@ func (sh *shell) execute(stmt string, out io.Writer) {
 		return
 	}
 	fmt.Fprintln(out, "ok")
+}
+
+// isMetaLine reports whether a REPL input line is a meta command: a dot
+// followed by a letter (".help", ".trace on"). A lone "." (a statement
+// terminator on its own line) and dotted data (".5") are not meta.
+func isMetaLine(line string) bool {
+	return len(line) > 1 && line[0] == '.' &&
+		(line[1] >= 'a' && line[1] <= 'z' || line[1] >= 'A' && line[1] <= 'Z')
+}
+
+// metaNames lists every meta command the REPL understands, for the
+// unknown-command message.
+var metaNames = []string{
+	".check", ".checkpoint", ".engine", ".exit", ".help", ".intensional",
+	".load", ".parallel", ".preds", ".provenance", ".quit", ".rules",
+	".stats", ".trace", ".validate",
 }
 
 func (sh *shell) metaCommand(line string, out io.Writer) (quit bool) {
@@ -347,6 +453,7 @@ meta commands:
   .engine NAME   switch retrieve engine (naive, seminaive, topdown, magic)
   .parallel N    bottom-up evaluation workers (0 = GOMAXPROCS)
   .stats on|off  print evaluation statistics after each retrieve
+  .trace on|off  print a span tree (parse/analyze/eval/describe) after each query
   .intensional on|off   answer data queries with knowledge attached
   .provenance on|off    show the rules behind each describe answer
   .checkpoint    fold the WAL into a snapshot (durable databases)
@@ -420,6 +527,24 @@ meta commands:
 		}
 		sh.stats = fields[1] == "on"
 		fmt.Fprintln(out, "stats:", fields[1])
+	case ".trace":
+		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+			fmt.Fprintln(out, "usage: .trace on|off")
+			return false
+		}
+		if fields[1] == "on" {
+			if sh.tracer == nil {
+				sh.tracer = kdb.NewTracer()
+			}
+			k.SetTracer(sh.tracer)
+			sh.traceTree = true
+		} else {
+			sh.traceTree = false
+			if !sh.fileTrace {
+				k.SetTracer(nil)
+			}
+		}
+		fmt.Fprintln(out, "trace:", fields[1])
 	case ".intensional":
 		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
 			fmt.Fprintln(out, "usage: .intensional on|off")
@@ -441,7 +566,10 @@ meta commands:
 			fmt.Fprintln(out, "checkpointed")
 		}
 	default:
-		fmt.Fprintf(out, "unknown command %s (try .help)\n", fields[0])
+		names := append([]string(nil), metaNames...)
+		sort.Strings(names)
+		fmt.Fprintf(out, "unknown command %s; known commands: %s (.help for details)\n",
+			fields[0], strings.Join(names, " "))
 	}
 	return false
 }

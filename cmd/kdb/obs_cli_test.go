@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTraceFlagJSONL(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	var out bytes.Buffer
+	err := run([]string{"-q", "-trace", path, "-exec", `describe honor(X).`, dataFile(t)},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	for _, want := range []string{`"name":"query"`, `"name":"parse"`, `"name":"analyze"`, `"name":"eval"`, `"name":"describe"`, `"kind":"describe"`} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trace missing %s:\n%s", want, got)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(got), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", line, err)
+		}
+	}
+}
+
+func TestTraceFlagChrome(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	err := run([]string{"-q", "-trace", path, "-trace-format", "chrome", "-exec", `retrieve honor(X).`, dataFile(t)},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("chrome trace is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("chrome trace is empty")
+	}
+	names := map[string]bool{}
+	for _, e := range events {
+		if e["ph"] != "X" {
+			t.Errorf("event phase = %v, want X", e["ph"])
+		}
+		if n, ok := e["name"].(string); ok {
+			names[n] = true
+		}
+	}
+	for _, want := range []string{"query", "parse", "eval"} {
+		if !names[want] {
+			t.Errorf("chrome trace missing %q event; have %v", want, names)
+		}
+	}
+}
+
+func TestTraceFlagBadFormat(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-q", "-trace", filepath.Join(t.TempDir(), "x"), "-trace-format", "bogus",
+		"-exec", `retrieve honor(X).`, dataFile(t)}, strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "trace format") {
+		t.Errorf("err = %v, want trace format error", err)
+	}
+}
+
+func TestStatsJSONFlag(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-q", "-stats-json", "-exec", `retrieve honor(X).`, dataFile(t)},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	i := strings.Index(got, "{")
+	if i < 0 {
+		t.Fatalf("no JSON stats in output:\n%s", got)
+	}
+	var st struct {
+		Engine     string `json:"Engine"`
+		Facts      int    `json:"Facts"`
+		Components []struct {
+			Preds []string
+		}
+	}
+	if err := json.Unmarshal([]byte(got[i:]), &st); err != nil {
+		t.Fatalf("stats output is not valid JSON: %v\n%s", err, got[i:])
+	}
+	if st.Engine == "" {
+		t.Errorf("stats JSON missing Engine: %s", got[i:])
+	}
+	if len(st.Components) == 0 {
+		t.Errorf("stats JSON missing Components: %s", got[i:])
+	}
+}
+
+func TestReplTraceMeta(t *testing.T) {
+	session := `
+.trace on
+retrieve honor(X).
+.trace off
+describe honor(X).
+.quit
+`
+	var out bytes.Buffer
+	if err := run([]string{"-q", dataFile(t)}, strings.NewReader(session), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "trace: on") || !strings.Contains(got, "trace: off") {
+		t.Errorf("missing trace toggles:\n%s", got)
+	}
+	// The retrieve between on/off must print a span tree; the describe
+	// after off must not.
+	onPart, offPart, found := strings.Cut(got, "trace: off")
+	if !found {
+		t.Fatalf("no trace: off marker:\n%s", got)
+	}
+	for _, want := range []string{"query", "parse", "analyze", "eval"} {
+		if !strings.Contains(onPart, want) {
+			t.Errorf("span tree missing %q while tracing:\n%s", want, onPart)
+		}
+	}
+	if strings.Contains(offPart, "analyze") {
+		t.Errorf("span tree printed after .trace off:\n%s", offPart)
+	}
+}
+
+func TestReplUnknownMetaListsCommands(t *testing.T) {
+	session := ".bogus\n.quit\n"
+	var out bytes.Buffer
+	if err := run([]string{"-q"}, strings.NewReader(session), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "unknown command .bogus") {
+		t.Errorf("missing unknown-command report:\n%s", got)
+	}
+	for _, want := range []string{".help", ".trace", ".stats", ".quit"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("known-command list missing %s:\n%s", want, got)
+		}
+	}
+}
+
+func TestReplMetaMidBuffer(t *testing.T) {
+	// A meta command issued while a multi-line statement is buffered must
+	// run immediately, and the buffered statement must still complete.
+	session := "retrieve honor(X)\n.stats on\nwhere enroll(X, databases).\n.quit\n"
+	var out bytes.Buffer
+	if err := run([]string{"-q", dataFile(t)}, strings.NewReader(session), &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "stats: on") {
+		t.Errorf("mid-buffer meta did not run:\n%s", got)
+	}
+	if !strings.Contains(got, "honor(ann)") {
+		t.Errorf("buffered statement lost:\n%s", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"kdb/internal/builtin"
 	"kdb/internal/depgraph"
 	"kdb/internal/governor"
+	"kdb/internal/obs"
 	"kdb/internal/term"
 	"kdb/internal/transform"
 )
@@ -149,11 +150,14 @@ func (d *Describer) DescribeContext(ctx context.Context, subject term.Atom, hypo
 	defer governor.Recover(&err)
 	gov, cancel := governor.New(ctx, limits)
 	defer cancel()
-	return d.describe(gov, subject, hypothesis)
+	return d.describe(gov, obs.SpanFromContext(ctx), subject, hypothesis)
 }
 
-// describe runs one governed describe search.
-func (d *Describer) describe(gov *governor.Governor, subject term.Atom, hypothesis term.Formula) (*Answers, error) {
+// describe runs one governed describe search. sp, when non-nil, is the
+// query span the search phases are recorded under: "eval" covers the
+// derivation-tree construction and cutting, "describe" the redundancy
+// elimination and comparison post-processing.
+func (d *Describer) describe(gov *governor.Governor, sp *obs.Span, subject term.Atom, hypothesis term.Formula) (*Answers, error) {
 	if term.IsComparison(subject) {
 		return nil, fmt.Errorf("core: the subject of describe cannot be a comparison")
 	}
@@ -207,15 +211,27 @@ func (d *Describer) describe(gov *governor.Governor, subject term.Atom, hypothes
 	}
 	s.byHead = byHead
 
-	if err := s.run(); err != nil {
+	esp := sp.Child("eval")
+	esp.SetStr("algorithm", map[bool]string{false: "1", true: "2"}[alg2])
+	err := s.run()
+	esp.SetInt("nodes", int64(s.nodes))
+	esp.SetInt("answers", int64(len(s.answers)))
+	esp.SetBool("truncated", s.truncated)
+	if err != nil {
+		esp.SetStr("stop", governor.StopReason(err))
+		esp.End()
 		return nil, err
 	}
+	esp.End()
 
+	dsp := sp.Child("describe")
 	ans := &Answers{Subject: subject, Hypothesis: hypothesis, Truncated: s.truncated, Nodes: s.nodes}
 	ans.Formulas = eliminateRedundant(s.answers, userVars)
 	if len(ans.Formulas) == 0 && s.discarded > 0 {
 		ans.Contradiction = true
 	}
+	dsp.SetInt("formulas", int64(len(ans.Formulas)))
+	dsp.End()
 	return ans, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"kdb/internal/governor"
+	"kdb/internal/obs"
 	"kdb/internal/term"
 )
 
@@ -30,15 +31,15 @@ func (d *Describer) DescribeOrContext(ctx context.Context, subject term.Atom, di
 	defer governor.Recover(&err)
 	gov, cancel := governor.New(ctx, limits)
 	defer cancel()
-	return d.describeOr(gov, subject, disjuncts)
+	return d.describeOr(gov, obs.SpanFromContext(ctx), subject, disjuncts)
 }
 
-func (d *Describer) describeOr(gov *governor.Governor, subject term.Atom, disjuncts []term.Formula) (*Answers, error) {
+func (d *Describer) describeOr(gov *governor.Governor, sp *obs.Span, subject term.Atom, disjuncts []term.Formula) (*Answers, error) {
 	if len(disjuncts) == 0 {
-		return d.describe(gov, subject, nil)
+		return d.describe(gov, sp, subject, nil)
 	}
 	if len(disjuncts) == 1 {
-		return d.describe(gov, subject, disjuncts[0])
+		return d.describe(gov, sp, subject, disjuncts[0])
 	}
 	if err := validateDisjuncts(disjuncts); err != nil {
 		return nil, err
@@ -60,7 +61,7 @@ func (d *Describer) describeOr(gov *governor.Governor, subject term.Atom, disjun
 	contradictions := 0
 	truncated := false
 	for _, dis := range disjuncts {
-		ans, err := d.describe(gov, subject, dis)
+		ans, err := d.describe(gov, sp, subject, dis)
 		if err != nil {
 			return nil, err
 		}

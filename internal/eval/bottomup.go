@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"kdb/internal/governor"
+	"kdb/internal/obs"
 	"kdb/internal/storage"
 	"kdb/internal/term"
 )
@@ -161,7 +163,7 @@ func matchRelation(r *storage.Relation, a term.Atom, base term.Subst, fn func(te
 // with both derived and stored tuples (the kb layer turns stored facts
 // of rule-defined predicates into bodiless rules, but eval stays robust
 // either way) avoids feeding the same substitution twice.
-func matchStoreExcept(st *storage.Store, a term.Atom, base term.Subst, except *storage.Relation, fn func(term.Subst) bool) error {
+func matchStoreExcept(st *storage.Store, a term.Atom, base term.Subst, except *storage.Relation, c *storage.Counters, fn func(term.Subst) bool) error {
 	r := st.Relation(a.Pred)
 	if r == nil {
 		return nil
@@ -171,7 +173,7 @@ func matchStoreExcept(st *storage.Store, a term.Atom, base term.Subst, except *s
 	}
 	suppress := except != nil && except.Arity() == r.Arity()
 	pattern := base.Apply(a)
-	return r.Select(pattern.Args, func(t storage.Tuple) bool {
+	return r.SelectCounted(pattern.Args, c, func(t storage.Tuple) bool {
 		if suppress && except.Contains(t) {
 			return true
 		}
@@ -241,20 +243,20 @@ func (e *bottomUp) RetrieveContext(ctx context.Context, q Query) (res *Result, e
 	defer governor.Recover(&err)
 	gov, cancel := governor.New(ctx, e.limits)
 	defer cancel()
+	sp := obs.SpanFromContext(ctx)
+	asp := sp.Child("analyze")
 	p, err := buildPlan(e.in, q)
 	if err != nil {
+		asp.End()
 		return nil, err
 	}
+	asp.End()
+	// The observability counters are private to this query and threaded
+	// through every storage probe (MatchCounted / SelectCounted), so
+	// concurrent queries over the same store keep independent counts.
 	counters := &storage.Counters{}
 	d := newDerived(counters)
 	relevant := p.relevantPreds()
-	// Attach the observability counters to the stored relations this
-	// query can touch, so index builds and probes show up in the stats.
-	for pred := range relevant {
-		if r := e.in.Store.Relation(pred); r != nil {
-			r.SetCounters(counters)
-		}
-	}
 
 	components := p.graph.SCCOrder()
 	stats := &EvalStats{
@@ -262,8 +264,12 @@ func (e *bottomUp) RetrieveContext(ctx context.Context, q Query) (res *Result, e
 		Workers:    e.workers,
 		Components: make([]ComponentStats, len(components)),
 	}
+	evalSp := sp.Child("eval")
+	evalSp.SetStr("engine", e.Name())
+	evalSp.SetInt("workers", int64(e.workers))
+	evalSp.SetInt("components", int64(len(components)))
 	start := time.Now()
-	evalOne := func(i int) error {
+	evalOne := func(i, worker int) error {
 		comp := components[i]
 		cs := &stats.Components[i]
 		cs.Preds = comp
@@ -284,15 +290,23 @@ func (e *bottomUp) RetrieveContext(ctx context.Context, q Query) (res *Result, e
 		if err := gov.Err(); err != nil {
 			return err
 		}
+		csp := evalSp.Child("scc")
+		csp.SetWorker(worker)
+		csp.SetStr("preds", strings.Join(comp, " "))
 		t0 := time.Now()
 		err := e.evalComponent(p, d, gov, comp, cs)
 		cs.Wall = time.Since(t0)
+		csp.SetInt("iterations", int64(cs.Iterations))
+		csp.SetInt("facts", int64(cs.Facts))
+		csp.SetInt("lookups", int64(cs.Lookups))
+		csp.SetBool("recursive", cs.Recursive)
+		csp.End()
 		return err
 	}
 	var runErr error
 	if e.workers <= 1 {
 		for i := range components {
-			if runErr = evalOne(i); runErr != nil {
+			if runErr = evalOne(i, 0); runErr != nil {
 				break
 			}
 		}
@@ -301,10 +315,30 @@ func (e *bottomUp) RetrieveContext(ctx context.Context, q Query) (res *Result, e
 	}
 	finishStats(stats, start, counters, runErr)
 	e.stats.Store(stats)
+	endEvalSpan(evalSp, sp, stats)
 	if runErr != nil {
 		return nil, &StopError{Stats: stats, Err: runErr}
 	}
 	return e.collect(p, d), nil
+}
+
+// endEvalSpan folds the finished stats into the eval span and emits the
+// storage-probe summary span. Nil-safe (untraced queries pass nil).
+func endEvalSpan(evalSp, parent *obs.Span, stats *EvalStats) {
+	evalSp.SetInt("facts", int64(stats.Facts))
+	evalSp.SetInt("lookups", stats.Lookups)
+	if stats.StopReason != "" && stats.StopReason != "ok" {
+		evalSp.SetStr("stop", stats.StopReason)
+	}
+	evalSp.End()
+	if parent == nil {
+		return
+	}
+	ssp := parent.Child("storage")
+	ssp.SetInt("probes", stats.Probes)
+	ssp.SetInt("candidates", stats.Candidates)
+	ssp.SetInt("index_builds", stats.IndexBuilds)
+	ssp.End()
 }
 
 // fullLookup builds the component-local lookup over the union of the
@@ -321,7 +355,7 @@ func (e *bottomUp) fullLookup(d *derived, gov *governor.Governor, cs *ComponentS
 		}
 		rel := d.get(a.Pred)
 		if rel == nil {
-			return e.in.Store.Match(a, base, fn)
+			return e.in.Store.MatchCounted(a, base, d.counters, fn)
 		}
 		stopped := false
 		if err := matchRelation(rel, a, base, func(s term.Subst) bool {
@@ -336,7 +370,7 @@ func (e *bottomUp) fullLookup(d *derived, gov *governor.Governor, cs *ComponentS
 		if stopped {
 			return nil
 		}
-		return matchStoreExcept(e.in.Store, a, base, rel, fn)
+		return matchStoreExcept(e.in.Store, a, base, rel, d.counters, fn)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"kdb/internal/governor"
+	"kdb/internal/obs"
 	"kdb/internal/term"
 )
 
@@ -68,11 +69,17 @@ func (e *magic) Retrieve(q Query) (*Result, error) {
 // program (magic seeds included).
 func (e *magic) RetrieveContext(ctx context.Context, q Query) (res *Result, err error) {
 	defer governor.Recover(&err)
+	sp := obs.SpanFromContext(ctx)
+	asp := sp.Child("analyze")
 	p, err := buildPlan(e.in, q)
+	asp.End()
 	if err != nil {
 		return nil, err
 	}
+	rsp := sp.Child("magic-rewrite")
 	rewritten, queryPred, err := magicRewrite(p)
+	rsp.SetInt("rules", int64(len(rewritten)))
+	rsp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -33,7 +33,7 @@ func TestRunDAGRespectsDependencies(t *testing.T) {
 		var mu sync.Mutex
 		finished := make([]bool, n)
 		ran := make([]int, n)
-		err := runDAG(1+r.Intn(8), deps, func(i int) error {
+		err := runDAG(1+r.Intn(8), deps, func(i, _ int) error {
 			mu.Lock()
 			defer mu.Unlock()
 			for _, j := range deps[i] {
@@ -68,7 +68,7 @@ func TestRunDAGBoundsWorkers(t *testing.T) {
 	const n, workers = 24, 3
 	deps := make([][]int, n) // fully independent
 	var inFlight, peak atomic.Int64
-	err := runDAG(workers, deps, func(int) error {
+	err := runDAG(workers, deps, func(int, int) error {
 		cur := inFlight.Add(1)
 		for {
 			p := peak.Load()
@@ -98,7 +98,7 @@ func TestRunDAGPropagatesError(t *testing.T) {
 		deps[i] = []int{i - 1}
 	}
 	var after atomic.Int64
-	err := runDAG(4, deps, func(i int) error {
+	err := runDAG(4, deps, func(i, _ int) error {
 		if i == 5 {
 			return boom
 		}

@@ -17,7 +17,11 @@ import (
 // The first task error is returned. Tasks not yet started when an error
 // occurs are skipped (their run is never called), but the schedule still
 // drains so no goroutine leaks.
-func runDAG(workers int, deps [][]int, run func(node int) error) error {
+//
+// run receives the node index and the index of the worker executing it
+// (0..workers-1), so callers can attribute work to scheduler lanes in
+// traces.
+func runDAG(workers int, deps [][]int, run func(node, worker int) error) error {
 	n := len(deps)
 	if n == 0 {
 		return nil
@@ -69,7 +73,7 @@ func runDAG(workers int, deps [][]int, run func(node int) error) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range ready {
 				mu.Lock()
@@ -81,7 +85,7 @@ func runDAG(workers int, deps [][]int, run func(node int) error) error {
 					// it); contain it here and report it as the task error.
 					err := func() (err error) {
 						defer governor.Recover(&err)
-						return run(i)
+						return run(i, worker)
 					}()
 					if err != nil {
 						mu.Lock()
@@ -93,7 +97,7 @@ func runDAG(workers int, deps [][]int, run func(node int) error) error {
 				}
 				finish(i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return firstErr

@@ -10,56 +10,58 @@ import (
 // component of the rule dependency graph.
 type ComponentStats struct {
 	// Preds are the component's predicates (sorted).
-	Preds []string
+	Preds []string `json:"preds"`
 	// Skipped marks components that were irrelevant to the query (or had
 	// no rules) and were not evaluated.
-	Skipped bool
+	Skipped bool `json:"skipped,omitempty"`
 	// Recursive reports whether the component required fixpoint iteration.
-	Recursive bool
+	Recursive bool `json:"recursive,omitempty"`
 	// Iterations counts rule-application rounds, the first included.
-	Iterations int
+	Iterations int `json:"iterations,omitempty"`
 	// Facts counts the facts newly derived by this component.
-	Facts int
+	Facts int `json:"facts,omitempty"`
 	// DeltaSizes records, per iteration, how many fresh facts that round
 	// contributed (the size of the next semi-naive delta).
-	DeltaSizes []int
+	DeltaSizes []int `json:"delta_sizes,omitempty"`
 	// Lookups counts body-atom lookups issued while evaluating the
 	// component (each is one probe of a derived and/or stored relation).
-	Lookups int64
+	Lookups int64 `json:"lookups,omitempty"`
 	// Wall is the component's wall-clock evaluation time.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns,omitempty"`
 }
 
 // EvalStats is the observability record of one Retrieve evaluation.
 type EvalStats struct {
 	// Engine names the evaluation strategy that produced the record.
-	Engine string
+	Engine string `json:"engine"`
 	// Workers is the SCC worker-pool size used (1 = sequential).
-	Workers int
+	Workers int `json:"workers"`
 	// Components holds one entry per SCC in dependency order (bottom-up
-	// engines; empty for top-down).
-	Components []ComponentStats
+	// engines; empty for top-down). The order is deterministic: it is
+	// the condensation's topological order with ties broken by sorted
+	// predicate names, independent of scheduling.
+	Components []ComponentStats `json:"components,omitempty"`
 	// Facts is the total number of facts derived.
-	Facts int
+	Facts int `json:"facts"`
 	// Lookups is the total number of body-atom lookups issued (summed over
 	// components for bottom-up engines).
-	Lookups int64
+	Lookups int64 `json:"lookups"`
 	// Passes counts naive-iteration passes (top-down engine only).
-	Passes int
+	Passes int `json:"passes,omitempty"`
 	// Tables counts call-pattern tables (top-down engine only).
-	Tables int
+	Tables int `json:"tables,omitempty"`
 	// Probes, Candidates, and IndexBuilds aggregate the storage-level
 	// counters of every relation the evaluation touched: Select calls
 	// served, candidate tuples examined, and hash indexes built.
-	Probes      int64
-	Candidates  int64
-	IndexBuilds int64
+	Probes      int64 `json:"probes"`
+	Candidates  int64 `json:"candidates"`
+	IndexBuilds int64 `json:"index_builds"`
 	// Wall is the end-to-end evaluation time.
-	Wall time.Duration
+	Wall time.Duration `json:"wall_ns"`
 	// StopReason is empty for a run-to-completion evaluation; a governed
 	// stop records why ("deadline", "canceled", "limit:<kind>", "panic").
 	// The record then holds the snapshot at stop time.
-	StopReason string
+	StopReason string `json:"stop_reason,omitempty"`
 }
 
 // StatsReporter is implemented by engines that record evaluation

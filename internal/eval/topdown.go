@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"kdb/internal/governor"
+	"kdb/internal/obs"
 	"kdb/internal/storage"
 	"kdb/internal/term"
 )
@@ -74,10 +75,16 @@ func (e *topDown) RetrieveContext(ctx context.Context, q Query) (res *Result, er
 	defer governor.Recover(&err)
 	gov, cancel := governor.New(ctx, e.limits)
 	defer cancel()
+	sp := obs.SpanFromContext(ctx)
+	asp := sp.Child("analyze")
 	p, err := buildPlan(e.in, q)
 	if err != nil {
+		asp.End()
 		return nil, err
 	}
+	asp.End()
+	// The counters are private to this query and threaded through every
+	// stored-relation probe, so concurrent queries stay independent.
 	run := &topDownRun{
 		in:       e.in,
 		graph:    make(map[string][]term.Rule),
@@ -88,12 +95,10 @@ func (e *topDown) RetrieveContext(ctx context.Context, q Query) (res *Result, er
 	for _, r := range p.rules {
 		run.graph[r.Head.Pred] = append(run.graph[r.Head.Pred], r)
 	}
-	for pred := range p.relevantPreds() {
-		if r := e.in.Store.Relation(pred); r != nil {
-			r.SetCounters(run.counters)
-		}
-	}
 	goal := p.rule.Head
+	evalSp := sp.Child("eval")
+	evalSp.SetStr("engine", e.Name())
+	evalSp.SetInt("workers", 1)
 	start := time.Now()
 	// Naive-iteration driver: re-run until no table grows.
 	var runErr error
@@ -129,6 +134,9 @@ func (e *topDown) RetrieveContext(ctx context.Context, q Query) (res *Result, er
 	stats.IndexBuilds = run.counters.IndexBuilds.Load()
 	stats.StopReason = governor.StopReason(runErr)
 	e.stats.Store(stats)
+	evalSp.SetInt("passes", int64(run.pass))
+	evalSp.SetInt("tables", int64(len(run.tables)))
+	endEvalSpan(evalSp, sp, stats)
 	if runErr != nil {
 		return nil, &StopError{Stats: stats, Err: runErr}
 	}
@@ -244,7 +252,7 @@ func (r *topDownRun) lookup(a term.Atom, base term.Subst, fn func(term.Subst) bo
 	}
 	rules := r.graph[a.Pred]
 	if len(rules) == 0 {
-		return r.in.Store.Match(a, base, fn)
+		return r.in.Store.MatchCounted(a, base, r.counters, fn)
 	}
 	goal := base.Apply(a)
 	if err := r.solveTable(goal); err != nil {
@@ -278,7 +286,7 @@ func (r *topDownRun) lookup(a term.Atom, base term.Subst, fn func(term.Subst) bo
 	// A predicate may also have stored facts (robustness; the kb layer
 	// normally rewrites those into bodiless rules).
 	if r.in.Store.Relation(a.Pred) != nil {
-		return r.in.Store.Match(a, base, fn)
+		return r.in.Store.MatchCounted(a, base, r.counters, fn)
 	}
 	return nil
 }

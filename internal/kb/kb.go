@@ -22,6 +22,7 @@ import (
 	"kdb/internal/depgraph"
 	"kdb/internal/eval"
 	"kdb/internal/governor"
+	"kdb/internal/obs"
 	"kdb/internal/parser"
 	"kdb/internal/storage"
 	"kdb/internal/term"
@@ -57,6 +58,13 @@ type KB struct {
 	// lastStats holds the evaluation statistics of the most recent
 	// retrieve (or constraint check), for observability.
 	lastStats atomic.Pointer[eval.EvalStats]
+
+	// tracer and qmetrics are the optional observability hooks
+	// (WithTracer, WithMetrics). Both are nil-safe throughout: when
+	// unset, the query path does no observability work and no
+	// allocation.
+	tracer   atomic.Pointer[obs.Tracer]
+	qmetrics atomic.Pointer[obs.QueryMetrics]
 
 	// describer is rebuilt lazily after each load.
 	describer *core.Describer
@@ -590,7 +598,9 @@ func (k *KB) DescribeOr(subject term.Atom, disjuncts []term.Formula) (*core.Answ
 // DescribeOrContext is DescribeOr under the context and the configured
 // query limits.
 func (k *KB) DescribeOrContext(ctx context.Context, subject term.Atom, disjuncts []term.Formula) (*core.Answers, error) {
+	asp := obs.SpanFromContext(ctx).Child("analyze")
 	d, err := k.getDescriberFor(subject)
+	asp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -598,6 +608,7 @@ func (k *KB) DescribeOrContext(ctx context.Context, subject term.Atom, disjuncts
 	if err != nil {
 		return nil, err
 	}
+	k.observeDescribe(ans.Nodes)
 	k.applyDisplayNames(ans)
 	k.attachNotes(subject, ans)
 	return ans, nil
@@ -742,7 +753,9 @@ func (k *KB) Describe(subject term.Atom, where term.Formula) (*core.Answers, err
 // cooperatively, and MaxDescribeNodes bounds its steps as a hard error
 // (unlike the describe engine's own MaxNodes option, which truncates).
 func (k *KB) DescribeContext(ctx context.Context, subject term.Atom, where term.Formula) (*core.Answers, error) {
+	asp := obs.SpanFromContext(ctx).Child("analyze")
 	d, err := k.getDescriberFor(subject)
+	asp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -750,6 +763,7 @@ func (k *KB) DescribeContext(ctx context.Context, subject term.Atom, where term.
 	if err != nil {
 		return nil, err
 	}
+	k.observeDescribe(ans.Nodes)
 	k.applyDisplayNames(ans)
 	k.attachNotes(subject, ans)
 	return ans, nil
@@ -763,7 +777,9 @@ func (k *KB) DescribeNecessary(subject term.Atom, where term.Formula) (*core.Ans
 // DescribeNecessaryContext is DescribeNecessary under the context and
 // the configured query limits.
 func (k *KB) DescribeNecessaryContext(ctx context.Context, subject term.Atom, where term.Formula) (*core.Answers, error) {
+	asp := obs.SpanFromContext(ctx).Child("analyze")
 	d, err := k.getDescriberFor(subject)
+	asp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -771,6 +787,7 @@ func (k *KB) DescribeNecessaryContext(ctx context.Context, subject term.Atom, wh
 	if err != nil {
 		return nil, err
 	}
+	k.observeDescribe(ans.Nodes)
 	k.applyDisplayNames(ans)
 	k.attachNotes(subject, ans)
 	return ans, nil
@@ -840,6 +857,15 @@ func (k *KB) Exec(q parser.Query) (*ExecResult, error) {
 // forms (describe not, possible, wildcard, compare) run their bounded
 // unfolding un-governed.
 func (k *KB) ExecContext(ctx context.Context, q parser.Query) (*ExecResult, error) {
+	ctx, finish := k.beginQuery(ctx)
+	res, err := k.execContext(ctx, q)
+	if finish != nil {
+		finish(queryKind(q), err)
+	}
+	return res, err
+}
+
+func (k *KB) execContext(ctx context.Context, q parser.Query) (*ExecResult, error) {
 	switch s := q.(type) {
 	case *parser.Retrieve:
 		var res *eval.Result
@@ -928,11 +954,21 @@ func (k *KB) ExecString(src string) (*ExecResult, error) {
 // ExecStringContext parses and runs one query given as text, under the
 // context and the configured query limits (see ExecContext).
 func (k *KB) ExecStringContext(ctx context.Context, src string) (*ExecResult, error) {
+	ctx, finish := k.beginQuery(ctx)
+	psp := obs.SpanFromContext(ctx).Child("parse")
 	q, err := parser.ParseQuery(src)
+	psp.End()
 	if err != nil {
+		if finish != nil {
+			finish("parse", err)
+		}
 		return nil, err
 	}
-	return k.ExecContext(ctx, q)
+	res, err := k.execContext(ctx, q)
+	if finish != nil {
+		finish(queryKind(q), err)
+	}
+	return res, err
 }
 
 // ExecResult is the displayable outcome of Exec: exactly one of the

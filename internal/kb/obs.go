@@ -1,0 +1,122 @@
+package kb
+
+import (
+	"context"
+	"time"
+
+	"kdb/internal/eval"
+	"kdb/internal/governor"
+	"kdb/internal/obs"
+	"kdb/internal/parser"
+)
+
+// WithTracer attaches a span tracer: every Exec/ExecString query records
+// a span tree (parse, analyze, eval, describe, storage phases) that the
+// tracer retains and hands to its OnFinish callback. A nil tracer keeps
+// the query path allocation-free.
+func WithTracer(t *obs.Tracer) Option {
+	return func(k *KB) { k.tracer.Store(t) }
+}
+
+// WithMetrics registers the knowledge base's instruments on reg — query
+// latency histograms by statement kind, derived-fact and lookup tallies,
+// governor stop reasons — and wires the storage observer so WAL append,
+// fsync, and snapshot timings land on the same registry.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(k *KB) {
+		if reg == nil {
+			return
+		}
+		k.qmetrics.Store(obs.NewQueryMetrics(reg))
+		k.store.SetObserver(obs.NewStorageMetrics(reg))
+	}
+}
+
+// SetTracer attaches (or, given nil, detaches) the span tracer at
+// runtime; it takes effect on the next query.
+func (k *KB) SetTracer(t *obs.Tracer) { k.tracer.Store(t) }
+
+// Tracer returns the attached span tracer, or nil.
+func (k *KB) Tracer() *obs.Tracer { return k.tracer.Load() }
+
+// queryMark marks a context already inside an observed query, so nested
+// Exec paths (ExecStringContext → ExecContext, intensional answering)
+// neither open a second root span nor double-count metrics.
+type queryMark struct{}
+
+// beginQuery opens the per-query observability scope: a root "query"
+// span placed in the context for the engines to hang children on, and a
+// latency clock. The returned finish func ends the scope; call it
+// exactly once with the statement kind and the query's error. When
+// neither a tracer nor metrics are configured — or when the context is
+// already inside an observed query — ctx comes back untouched and
+// finish is nil, keeping the disabled path free of allocations.
+func (k *KB) beginQuery(ctx context.Context) (context.Context, func(kind string, err error)) {
+	tr := k.tracer.Load()
+	qm := k.qmetrics.Load()
+	if (tr == nil && qm == nil) || ctx.Value(queryMark{}) != nil {
+		return ctx, nil
+	}
+	ctx = context.WithValue(ctx, queryMark{}, true)
+	root := tr.Start("query")
+	ctx = obs.ContextWithSpan(ctx, root)
+	start := time.Now()
+	prev := k.lastStats.Load()
+	return ctx, func(kind string, err error) {
+		d := time.Since(start)
+		stop := governor.StopReason(err)
+		if stop == "error" {
+			stop = "" // plain failures are not governed stops
+		}
+		root.SetStr("kind", kind)
+		if stop != "" {
+			root.SetStr("stop", stop)
+		}
+		if err != nil {
+			root.SetBool("error", true)
+		}
+		qm.ObserveQuery(kind, d, stop, err != nil)
+		if st := k.lastStats.Load(); st != nil && st != prev {
+			qm.ObserveEval(int64(st.Facts), st.Lookups, st.Probes,
+				st.Candidates, st.IndexBuilds, sumIterations(st))
+		}
+		tr.Finish(root)
+	}
+}
+
+// sumIterations totals the fixpoint rounds across an evaluation's SCCs.
+func sumIterations(st *eval.EvalStats) int64 {
+	n := int64(st.Passes) // top-down naive-iteration passes
+	for _, c := range st.Components {
+		n += int64(c.Iterations)
+	}
+	return n
+}
+
+// observeDescribe folds a finished describe search into the metrics.
+func (k *KB) observeDescribe(nodes int) {
+	k.qmetrics.Load().ObserveDescribe(int64(nodes))
+}
+
+// queryKind names the statement form for metrics and span labels.
+func queryKind(q parser.Query) string {
+	switch s := q.(type) {
+	case *parser.Retrieve:
+		return "retrieve"
+	case *parser.Describe:
+		switch {
+		case s.Wildcard:
+			return "describe-wildcard"
+		case s.Subjectless:
+			return "possible"
+		case len(s.Not) > 0:
+			return "describe-not"
+		default:
+			return "describe"
+		}
+	case *parser.Compare:
+		return "compare"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,333 @@
+// Package obs is the observability layer of kdb: in-process tracing
+// spans, a metrics registry with Prometheus text exposition, trace
+// exporters (JSONL and Chrome trace-event), and a debug HTTP handler.
+//
+// The package is stdlib-only and designed around a zero-cost contract:
+// every method on *Tracer and *Span is safe on a nil receiver and does
+// nothing, so instrumentation sites never need a guard and a KB built
+// without WithTracer pays no allocation on the query hot path. Span
+// attributes use typed setters (SetInt, SetStr, SetBool, SetFloat)
+// rather than interface{} values so that disabled call sites do not box
+// their arguments.
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// AttrKind discriminates the payload of an Attr.
+type AttrKind uint8
+
+// Attribute payload kinds.
+const (
+	AttrInt AttrKind = iota
+	AttrStr
+	AttrBool
+	AttrFloat
+)
+
+// Attr is one key/value annotation on a span. Exactly one payload field
+// is meaningful, selected by Kind.
+type Attr struct {
+	Key  string
+	Kind AttrKind
+	Int  int64
+	Str  string
+	Flt  float64
+}
+
+// Value returns the payload as an interface value (for export).
+func (a Attr) Value() any {
+	switch a.Kind {
+	case AttrStr:
+		return a.Str
+	case AttrBool:
+		return a.Int != 0
+	case AttrFloat:
+		return a.Flt
+	default:
+		return a.Int
+	}
+}
+
+// Span is one timed phase of a query. Spans form a tree: the root is
+// created by Tracer.Start and children by Span.Child. A span is safe
+// for concurrent use — parallel workers may add children and attributes
+// to the same parent concurrently.
+//
+// All methods are nil-safe: a nil *Span ignores every call, and
+// Child on a nil span returns nil, so an untraced query threads nil
+// through the whole instrumentation path at zero cost.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	worker   int // -1 when unattributed
+	attrs    []Attr
+	children []*Span
+}
+
+func newSpan(name string) *Span {
+	return &Span{name: name, start: time.Now(), worker: -1}
+}
+
+// Child creates and returns a sub-span. Returns nil if s is nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(name)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End marks the span finished. Calling End twice keeps the first end
+// time. End on a nil span is a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = now
+	}
+	s.mu.Unlock()
+}
+
+// SetName renames the span (used when the statement kind is only known
+// after parsing).
+func (s *Span) SetName(name string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.name = name
+	s.mu.Unlock()
+}
+
+// SetWorker attributes the span to a scheduler worker.
+func (s *Span) SetWorker(w int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.worker = w
+	s.mu.Unlock()
+}
+
+// SetInt adds an integer attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: AttrInt, Int: v})
+	s.mu.Unlock()
+}
+
+// SetStr adds a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: AttrStr, Str: v})
+	s.mu.Unlock()
+}
+
+// SetBool adds a boolean attribute.
+func (s *Span) SetBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	var i int64
+	if v {
+		i = 1
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: AttrBool, Int: i})
+	s.mu.Unlock()
+}
+
+// SetFloat adds a float attribute.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Kind: AttrFloat, Flt: v})
+	s.mu.Unlock()
+}
+
+// Name returns the span name. Empty for a nil span.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.name
+}
+
+// Start returns the span start time. Zero for a nil span.
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Duration returns end−start, or elapsed-so-far if the span has not
+// ended. Zero for a nil span.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// Worker returns the attributed worker index, or -1.
+func (s *Span) Worker() int {
+	if s == nil {
+		return -1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.worker
+}
+
+// Attrs returns a copy of the span's attributes.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Attr, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Children returns a copy of the span's direct children in creation
+// order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Tracer records a bounded ring of recent query span trees. A nil
+// *Tracer is valid and records nothing.
+type Tracer struct {
+	mu       sync.Mutex
+	recent   []*Span // ring, most recent last
+	max      int
+	onFinish func(*Span)
+}
+
+// DefaultTraceBuffer is how many finished root spans a Tracer retains.
+const DefaultTraceBuffer = 64
+
+// NewTracer returns a Tracer retaining up to DefaultTraceBuffer recent
+// traces.
+func NewTracer() *Tracer { return &Tracer{max: DefaultTraceBuffer} }
+
+// OnFinish registers a callback invoked synchronously from Finish with
+// each completed root span (e.g. streaming JSONL export).
+func (t *Tracer) OnFinish(fn func(*Span)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.onFinish = fn
+	t.mu.Unlock()
+}
+
+// Start begins a new root span. Returns nil if t is nil. The caller
+// must pass the finished root to Finish to retain and export it.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return newSpan(name)
+}
+
+// Finish ends root (if not already ended) and retains it in the recent
+// ring, invoking the OnFinish callback if set. No-op on a nil tracer or
+// nil root.
+func (t *Tracer) Finish(root *Span) {
+	if t == nil || root == nil {
+		return
+	}
+	root.End()
+	t.mu.Lock()
+	t.recent = append(t.recent, root)
+	if n := len(t.recent) - t.max; n > 0 {
+		t.recent = append(t.recent[:0], t.recent[n:]...)
+	}
+	fn := t.onFinish
+	t.mu.Unlock()
+	if fn != nil {
+		fn(root)
+	}
+}
+
+// Last returns the most recently finished root span, or nil.
+func (t *Tracer) Last() *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.recent) == 0 {
+		return nil
+	}
+	return t.recent[len(t.recent)-1]
+}
+
+// Recent returns the retained root spans, oldest first.
+func (t *Tracer) Recent() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.recent))
+	copy(out, t.recent)
+	return out
+}
+
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying sp. If sp is nil, ctx is
+// returned unchanged (so downstream SpanFromContext stays nil and
+// allocation-free).
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}

@@ -83,11 +83,12 @@ func NewRelation(arity int) (*Relation, error) {
 // Arity returns the relation's arity.
 func (r *Relation) Arity() int { return r.arity }
 
-// SetCounters attaches (or, with nil, detaches) an observability sink.
-// Probe, candidate, and index-build events are counted into it from then
-// on. Counters are advisory: attaching is atomic and race-free, but when
-// several evaluations share a relation the counts accrue to whichever
-// sink was attached last.
+// SetCounters attaches (or, with nil, detaches) an observability sink
+// used when a probe does not carry its own (Select, Match). It suits
+// relations private to one evaluation (derived relations, top-down
+// tables); for relations shared by concurrent queries, pass a per-query
+// sink to SelectCounted / MatchCounted instead, so counts can never
+// accrue to another query's statistics.
 func (r *Relation) SetCounters(c *Counters) { r.counters.Store(c) }
 
 // Len returns the number of stored tuples.
@@ -155,8 +156,19 @@ func (r *Relation) Scan(fn func(Tuple) bool) {
 // position is bound, a hash index on that column set is used (built on
 // first use).
 func (r *Relation) Select(pattern []term.Term, fn func(Tuple) bool) error {
+	return r.SelectCounted(pattern, nil, fn)
+}
+
+// SelectCounted is Select with an explicit observability sink for this
+// probe. A nil sink falls back to the relation-attached counters (see
+// SetCounters). Threading the sink per call keeps concurrent queries'
+// statistics independent even though they share the stored relation.
+func (r *Relation) SelectCounted(pattern []term.Term, c *Counters, fn func(Tuple) bool) error {
 	if len(pattern) != r.arity {
 		return fmt.Errorf("storage: pattern arity %d, want %d", len(pattern), r.arity)
+	}
+	if c == nil {
+		c = r.counters.Load()
 	}
 	var mask uint64
 	for i, p := range pattern {
@@ -166,15 +178,15 @@ func (r *Relation) Select(pattern []term.Term, fn func(Tuple) bool) error {
 	}
 	if mask == 0 {
 		all := r.snapshotAll()
-		if c := r.counters.Load(); c != nil {
+		if c != nil {
 			c.Probes.Add(1)
 			c.Candidates.Add(int64(len(all)))
 		}
 		r.scanMatching(pattern, all, fn)
 		return nil
 	}
-	idxs := r.lookup(mask, pattern)
-	if c := r.counters.Load(); c != nil {
+	idxs := r.lookup(mask, pattern, c)
+	if c != nil {
 		c.Probes.Add(1)
 		c.Candidates.Add(int64(len(idxs)))
 	}
@@ -209,8 +221,9 @@ func (r *Relation) scanMatching(pattern []term.Term, tuples []Tuple, fn func(Tup
 }
 
 // lookup returns the candidate tuple indices for the mask/pattern pair,
-// building the index on first use.
-func (r *Relation) lookup(mask uint64, pattern []term.Term) []int {
+// building the index on first use. Index builds are charged to c, the
+// probe's observability sink.
+func (r *Relation) lookup(mask uint64, pattern []term.Term, c *Counters) []int {
 	r.mu.RLock()
 	index, ok := r.indexes[mask]
 	r.mu.RUnlock()
@@ -224,7 +237,7 @@ func (r *Relation) lookup(mask uint64, pattern []term.Term) []int {
 				index[k] = append(index[k], i)
 			}
 			r.indexes[mask] = index
-			if c := r.counters.Load(); c != nil {
+			if c != nil {
 				c.IndexBuilds.Add(1)
 			}
 		}

@@ -20,6 +20,10 @@ type Store struct {
 
 	dir string // empty for in-memory stores
 	wal *wal
+
+	// obs, when set, receives WAL and snapshot timing events. Shared
+	// with the WAL by pointer.
+	obs observerHolder
 }
 
 // NewMemory returns an empty, non-durable store.
@@ -45,6 +49,7 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	w.obs = &s.obs
 	s.wal = w
 	return s, nil
 }
@@ -132,6 +137,14 @@ func (s *Store) Contains(a term.Atom) bool {
 // with each extended substitution until fn returns false. Constant
 // positions (after applying base) are served from a hash index.
 func (s *Store) Match(atom term.Atom, base term.Subst, fn func(term.Subst) bool) error {
+	return s.MatchCounted(atom, base, nil, fn)
+}
+
+// MatchCounted is Match with an explicit observability sink for this
+// probe (see Relation.SelectCounted). Evaluation engines pass their
+// per-query Counters here so that concurrent queries sharing the store
+// never contaminate each other's statistics.
+func (s *Store) MatchCounted(atom term.Atom, base term.Subst, c *Counters, fn func(term.Subst) bool) error {
 	r := s.Relation(atom.Pred)
 	if r == nil {
 		return nil // unknown predicate: empty extension
@@ -140,7 +153,7 @@ func (s *Store) Match(atom term.Atom, base term.Subst, fn func(term.Subst) bool)
 		return fmt.Errorf("storage: %s used with arity %d, stored with %d", atom.Pred, len(atom.Args), r.Arity())
 	}
 	pattern := base.Apply(atom)
-	return r.Select(pattern.Args, func(t Tuple) bool {
+	return r.SelectCounted(pattern.Args, c, func(t Tuple) bool {
 		ext, ok := term.Match(pattern, term.Atom{Pred: atom.Pred, Args: t}, base)
 		if !ok {
 			return true // repeated-variable mismatch already filtered, but stay safe

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 )
 
 // File formats.
@@ -96,6 +97,9 @@ type wal struct {
 	// append itself failed, so the on-disk/in-buffer state is unknown
 	// and every later append returns this error.
 	failed error
+	// obs, when non-nil, points at the owning store's observer slot;
+	// append and fsync latencies are reported through it.
+	obs *observerHolder
 }
 
 // openWAL opens (or creates) the log at path, replaying every valid
@@ -209,6 +213,7 @@ func uvarintLen(v uint64) int {
 // appended after it; if even the rewind fails, the log is poisoned and
 // every later append reports the sticky error.
 func (w *wal) append(pred string, t Tuple) error {
+	start := time.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.failed != nil {
@@ -226,7 +231,11 @@ func (w *wal) append(pred string, t Tuple) error {
 		w.recoverLocked(err)
 		return err
 	}
-	w.durable += int64(uvarintLen(uint64(len(payload)))) + int64(len(payload)) + 4
+	framed := int64(uvarintLen(uint64(len(payload)))) + int64(len(payload)) + 4
+	w.durable += framed
+	if o := w.obs.get(); o != nil {
+		o.ObserveWALAppend(time.Since(start), int(framed))
+	}
 	return nil
 }
 
@@ -256,7 +265,12 @@ func (w *wal) flushLocked() error {
 	if err := w.w.Flush(); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	start := time.Now()
+	err := w.f.Sync()
+	if o := w.obs.get(); err == nil && o != nil {
+		o.ObserveWALSync(time.Since(start))
+	}
+	return err
 }
 
 // reset truncates the log after a successful snapshot. It also clears a
@@ -293,15 +307,30 @@ func (w *wal) close() error {
 	return w.f.Close()
 }
 
+// countingWriter tracks how many bytes passed through it (snapshot
+// size reporting).
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // writeSnapshot dumps every relation to a temp file and atomically
 // renames it over the snapshot path.
 func (s *Store) writeSnapshot(path string) error {
+	start := time.Now()
 	tmp, err := os.CreateTemp(filepath.Dir(path), "kdb.snap.tmp*")
 	if err != nil {
 		return fmt.Errorf("storage: snapshot temp: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	w := bufio.NewWriter(tmp)
+	cw := &countingWriter{w: tmp}
+	w := bufio.NewWriter(cw)
 	if _, err := w.WriteString(snapshotMagic); err != nil {
 		tmp.Close()
 		return err
@@ -346,7 +375,13 @@ func (s *Store) writeSnapshot(path string) error {
 		return fmt.Errorf("storage: snapshot rename: %w", err)
 	}
 	// The rename is only durable once the directory entry is synced.
-	return syncDir(filepath.Dir(path))
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return err
+	}
+	if o := s.obs.get(); o != nil {
+		o.ObserveSnapshot(time.Since(start), cw.n)
+	}
+	return nil
 }
 
 // loadSnapshot populates the store from a snapshot file, if present.

@@ -34,12 +34,16 @@
 package kdb
 
 import (
+	"io"
+	"net/http"
+
 	"kdb/internal/analysis"
 	"kdb/internal/catalog"
 	"kdb/internal/core"
 	"kdb/internal/eval"
 	"kdb/internal/governor"
 	"kdb/internal/kb"
+	"kdb/internal/obs"
 	"kdb/internal/parser"
 	"kdb/internal/term"
 )
@@ -210,6 +214,57 @@ func WithParallelism(n int) Option { return kb.WithParallelism(n) }
 // entries, and describe search steps. Zero fields are unlimited;
 // context cancellation (ExecContext and friends) is honored regardless.
 func WithQueryLimits(l QueryLimits) Option { return kb.WithQueryLimits(l) }
+
+// Observability types: the tracing and metrics layer (see WithTracer and
+// WithMetrics).
+type (
+	// Tracer records one span tree per traced query and retains recent
+	// traces in a ring. A nil *Tracer disables tracing at zero cost.
+	Tracer = obs.Tracer
+	// Span is one timed phase of a query (parse, analyze, eval, scc,
+	// describe, storage, …) with typed attributes and child spans.
+	Span = obs.Span
+	// MetricsRegistry is a process-wide registry of counters, gauges,
+	// and histograms with Prometheus text exposition.
+	MetricsRegistry = obs.Registry
+	// MetricPoint is one exported metric sample (see MetricsRegistry
+	// Snapshot).
+	MetricPoint = obs.MetricPoint
+)
+
+// NewTracer returns a query tracer retaining the most recent traces.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WithTracer attaches a span tracer to the KB: every Exec/ExecString
+// query records a span tree of its phases. Nil keeps tracing disabled
+// with no overhead on the query path.
+func WithTracer(t *Tracer) Option { return kb.WithTracer(t) }
+
+// WithMetrics registers the KB's instruments (query latency histograms
+// by statement kind, fact/lookup tallies, governor stop reasons, WAL
+// and snapshot timings) on the registry.
+func WithMetrics(reg *MetricsRegistry) Option { return kb.WithMetrics(reg) }
+
+// WriteTraceJSONL exports a span tree as JSON Lines, one span per line,
+// pre-order, with microsecond offsets relative to the root.
+func WriteTraceJSONL(w io.Writer, root *Span) error { return obs.WriteJSONL(w, root) }
+
+// WriteChromeTrace exports span trees in the Chrome trace-event format
+// (load in Perfetto or chrome://tracing).
+func WriteChromeTrace(w io.Writer, roots []*Span) error { return obs.WriteChromeTrace(w, roots) }
+
+// WriteTraceTree renders a span tree as an indented console listing.
+func WriteTraceTree(w io.Writer, root *Span) error { return obs.WriteTree(w, root) }
+
+// DebugHandler serves /metrics (Prometheus text), /debug/vars (expvar),
+// and /debug/pprof/* over the registry.
+func DebugHandler(reg *MetricsRegistry) http.Handler { return obs.DebugHandler(reg) }
+
+// MetricsJSON renders the registry's current state as indented JSON.
+func MetricsJSON(reg *MetricsRegistry) ([]byte, error) { return obs.MetricsJSON(reg) }
 
 // ParseProgram parses knowledge-base source text (facts, rules,
 // declarations).
