@@ -9,7 +9,7 @@
 // Usage:
 //
 //	kdb-experiments [-data testdata]
-//	kdb-experiments -bench BENCH_PR4.json [-bench-iters N]
+//	kdb-experiments -bench BENCH_PR5.json [-bench-iters N]
 //
 // With -bench, a fixed set of query workloads runs instead and a JSON
 // report lands in the named file: per-workload iteration counts, total
@@ -311,7 +311,7 @@ type benchResult struct {
 	Metrics       []kdb.MetricPoint `json:"metrics"`
 }
 
-// benchReport is the top-level BENCH_PR4.json document.
+// benchReport is the top-level BENCH_PR5.json document.
 type benchReport struct {
 	Bench     string        `json:"bench"`
 	Go        string        `json:"go"`
@@ -330,13 +330,20 @@ func benchWorkloads() []benchWorkload {
 			Query: `describe prior(X, Y) where prior(databases, Y).`},
 		{ID: "compare-honor-deans", Kind: "compare", setup: universitySetup,
 			Query: `compare (describe honor(X)) with (describe deans_list(X)).`},
+		// Provenance overhead pair: the same recursive closure with and
+		// without witness recording. Comparing retrieve-reachable-baseline
+		// against explain-reachable isolates what why-provenance costs.
+		{ID: "retrieve-reachable-baseline", Kind: "retrieve", setup: routesSetup,
+			Query: `retrieve reachable(la, Y).`},
+		{ID: "explain-reachable", Kind: "explain", setup: routesSetup,
+			Query: `explain reachable(la, Y).`},
 	}
 }
 
 // runBench executes every workload iters times over a fresh KB with a
 // fresh metrics registry and writes the JSON report to path.
 func runBench(dataDir, path string, iters int, out io.Writer) error {
-	report := benchReport{Bench: "PR4", Go: runtime.Version()}
+	report := benchReport{Bench: "PR5", Go: runtime.Version()}
 	for _, w := range benchWorkloads() {
 		reg := kdb.NewMetricsRegistry()
 		saved := kbOptions

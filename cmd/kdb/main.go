@@ -67,6 +67,9 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		traceFile   = fs.String("trace", "", "record a span trace of every query to FILE")
 		traceFormat = fs.String("trace-format", "jsonl", "trace file format: jsonl (one span per line) or chrome (trace-event JSON for Perfetto)")
 		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. localhost:6060)")
+		queryLog    = fs.String("query-log", "", "append one JSONL record per query to FILE (statement, kind, latency, stop reason, eval deltas)")
+		slowQuery   = fs.Duration("slow-query", 0, "with -query-log, log only queries at least this slow (0 = every query)")
+		maxProv     = fs.Int("max-prov", 0, "per-query provenance-witness limit for explain (0 = unlimited)")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -75,7 +78,21 @@ func run(args []string, in io.Reader, out io.Writer) error {
 
 	opts := []kdb.Option{
 		kdb.WithParallelism(*parallel),
-		kdb.WithQueryLimits(kdb.QueryLimits{MaxWall: *timeout, MaxFacts: *maxFacts}),
+		kdb.WithQueryLimits(kdb.QueryLimits{
+			MaxWall:              *timeout,
+			MaxFacts:             *maxFacts,
+			MaxProvenanceEntries: *maxProv,
+		}),
+	}
+
+	// Structured query log: one JSONL line per query (or only slow ones).
+	if *queryLog != "" {
+		f, err := os.OpenFile(*queryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opts = append(opts, kdb.WithQueryLog(kdb.NewQueryLog(f, *slowQuery)))
 	}
 
 	// Tracing: spans stream to the trace file as each query finishes
@@ -385,7 +402,7 @@ func (sh *shell) repl(in io.Reader, out io.Writer, quiet bool) error {
 func (sh *shell) execute(stmt string, out io.Writer) {
 	k := sh.k
 	trimmed := strings.TrimSpace(stmt)
-	for _, kw := range []string{"retrieve", "describe", "compare"} {
+	for _, kw := range []string{"retrieve", "describe", "compare", "explain"} {
 		if strings.HasPrefix(trimmed, kw) {
 			before := k.LastStats()
 			ctx, done := sh.queryContext()
@@ -421,9 +438,31 @@ func isMetaLine(line string) bool {
 // metaNames lists every meta command the REPL understands, for the
 // unknown-command message.
 var metaNames = []string{
-	".check", ".checkpoint", ".engine", ".exit", ".help", ".intensional",
-	".load", ".parallel", ".preds", ".provenance", ".quit", ".rules",
-	".stats", ".trace", ".validate",
+	".check", ".checkpoint", ".engine", ".exit", ".explain", ".help",
+	".intensional", ".load", ".parallel", ".preds", ".provenance",
+	".quit", ".rules", ".stats", ".trace", ".validate",
+}
+
+// onOff renders a toggle's current state.
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// parseToggle interprets a toggle meta command: with no argument it
+// reports the current state; with on/off it returns the new state.
+// ok is false when the argument is malformed.
+func parseToggle(fields []string, cur bool) (val, set, ok bool) {
+	switch {
+	case len(fields) == 1:
+		return cur, false, true
+	case len(fields) == 2 && (fields[1] == "on" || fields[1] == "off"):
+		return fields[1] == "on", true, true
+	default:
+		return false, false, false
+	}
 }
 
 func (sh *shell) metaCommand(line string, out io.Writer) (quit bool) {
@@ -444,6 +483,7 @@ func (sh *shell) metaCommand(line string, out io.Writer) (quit bool) {
   describe * where honor(X).                        what follows from honor?
   describe honor(X) where p(X) or q(X).             disjunctive hypothesis
   compare (describe honor(X)) with (describe deans_list(X)).
+  explain reachable(sfo, cdg).                      why is this fact derivable?
 meta commands:
   .load FILE     load a program file
   .rules         list the IDB rules
@@ -452,10 +492,15 @@ meta commands:
   .check         print the static-analysis report of the loaded program
   .engine NAME   switch retrieve engine (naive, seminaive, topdown, magic)
   .parallel N    bottom-up evaluation workers (0 = GOMAXPROCS)
-  .stats on|off  print evaluation statistics after each retrieve
-  .trace on|off  print a span tree (parse/analyze/eval/describe) after each query
-  .intensional on|off   answer data queries with knowledge attached
-  .provenance on|off    show the rules behind each describe answer
+  .stats [on|off]   print evaluation statistics after each retrieve
+  .trace [on|off]   print a span tree (parse/analyze/eval/describe) after each query
+  .intensional [on|off]   answer data queries with knowledge attached
+provenance:
+  .explain STMT          shorthand for 'explain STMT.' — print the
+                         derivation tree of each answer (why-provenance)
+  .provenance [on|off]   show the rules behind each describe answer
+  (toggles with no argument print their current state)
+other:
   .checkpoint    fold the WAL into a snapshot (durable databases)
   .quit          leave
 `)
@@ -521,44 +566,64 @@ meta commands:
 		k.SetParallelism(n)
 		fmt.Fprintln(out, "parallelism:", k.Parallelism())
 	case ".stats":
-		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
-			fmt.Fprintln(out, "usage: .stats on|off")
+		val, set, ok := parseToggle(fields, sh.stats)
+		if !ok {
+			fmt.Fprintln(out, "usage: .stats [on|off]")
 			return false
 		}
-		sh.stats = fields[1] == "on"
-		fmt.Fprintln(out, "stats:", fields[1])
+		if set {
+			sh.stats = val
+		}
+		fmt.Fprintln(out, "stats:", onOff(sh.stats))
 	case ".trace":
-		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
-			fmt.Fprintln(out, "usage: .trace on|off")
+		val, set, ok := parseToggle(fields, sh.traceTree)
+		if !ok {
+			fmt.Fprintln(out, "usage: .trace [on|off]")
 			return false
 		}
-		if fields[1] == "on" {
+		if set && val {
 			if sh.tracer == nil {
 				sh.tracer = kdb.NewTracer()
 			}
 			k.SetTracer(sh.tracer)
 			sh.traceTree = true
-		} else {
+		} else if set {
 			sh.traceTree = false
 			if !sh.fileTrace {
 				k.SetTracer(nil)
 			}
 		}
-		fmt.Fprintln(out, "trace:", fields[1])
+		fmt.Fprintln(out, "trace:", onOff(sh.traceTree))
 	case ".intensional":
-		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
-			fmt.Fprintln(out, "usage: .intensional on|off")
+		val, set, ok := parseToggle(fields, k.Intensional())
+		if !ok {
+			fmt.Fprintln(out, "usage: .intensional [on|off]")
 			return false
 		}
-		k.SetIntensional(fields[1] == "on")
-		fmt.Fprintln(out, "intensional answers:", fields[1])
+		if set {
+			k.SetIntensional(val)
+		}
+		fmt.Fprintln(out, "intensional answers:", onOff(k.Intensional()))
 	case ".provenance":
-		if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
-			fmt.Fprintln(out, "usage: .provenance on|off")
+		val, set, ok := parseToggle(fields, k.Provenance())
+		if !ok {
+			fmt.Fprintln(out, "usage: .provenance [on|off]")
 			return false
 		}
-		k.SetProvenance(fields[1] == "on")
-		fmt.Fprintln(out, "provenance:", fields[1])
+		if set {
+			k.SetProvenance(val)
+		}
+		fmt.Fprintln(out, "provenance:", onOff(k.Provenance()))
+	case ".explain":
+		if len(fields) < 2 {
+			fmt.Fprintln(out, "usage: .explain p(a, b) [where ...]")
+			return false
+		}
+		stmt := "explain " + strings.TrimSpace(strings.TrimPrefix(line, ".explain"))
+		if !strings.HasSuffix(stmt, ".") {
+			stmt += "."
+		}
+		sh.execute(stmt, out)
 	case ".checkpoint":
 		if err := k.Checkpoint(); err != nil {
 			fmt.Fprintln(out, "error:", err)

@@ -63,6 +63,21 @@ func (a Answer) String() string {
 	return a.Head.String() + " <- " + a.Body.String()
 }
 
+// StringWithProvenance renders the answer followed by one indented
+// "via" line per distinct applied rule — the describe-side counterpart
+// of the explain statement's derivation trees, shared by every surface
+// that shows provenance (the REPL's .provenance toggle, intensional
+// answers).
+func (a Answer) StringWithProvenance() string {
+	var b strings.Builder
+	b.WriteString(a.String())
+	for _, r := range a.Provenance() {
+		b.WriteString("\n   via ")
+		b.WriteString(r.String())
+	}
+	return b.String()
+}
+
 // key canonicalizes the answer for duplicate elimination: user variables
 // (those of the head) stay fixed, all other variables are renamed in
 // order of first occurrence, and the body is treated as a set.

@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+
+	"kdb/internal/term"
+)
+
+func TestAnswerStringWithProvenance(t *testing.T) {
+	x := term.Var("X")
+	honor := term.NewRule(term.NewAtom("honor", x),
+		term.NewAtom("student", x, term.Var("Y"), term.Var("Z")),
+		term.NewAtom(">", term.Var("Z"), term.Num(3.7)))
+	a := Answer{
+		Head: term.NewAtom("honor", x),
+		Body: term.Formula{term.NewAtom("student", x, term.Var("Y"), term.Var("Z")),
+			term.NewAtom(">", term.Var("Z"), term.Num(3.7))},
+		// The same rule applied twice renders one via line (Provenance
+		// deduplicates).
+		ViaRules: []term.Rule{honor, honor},
+	}
+	want := "honor(X) <- student(X, Y, Z) and Z > 3.7\n" +
+		"   via honor(X) :- student(X, Y, Z), Z > 3.7."
+	if got := a.StringWithProvenance(); got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+	// Without ViaRules it degrades to the plain rendering.
+	a.ViaRules = nil
+	if got := a.StringWithProvenance(); got != a.String() {
+		t.Errorf("no-provenance rendering = %q", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"kdb/internal/governor"
 	"kdb/internal/obs"
+	"kdb/internal/prov"
 	"kdb/internal/storage"
 	"kdb/internal/term"
 )
@@ -19,6 +20,7 @@ import (
 type engineConfig struct {
 	workers int
 	limits  governor.Limits
+	rec     *prov.Recorder
 }
 
 // EngineOption tunes an engine at construction.
@@ -40,6 +42,15 @@ func WithWorkers(n int) EngineOption {
 // unlimited.
 func WithLimits(l governor.Limits) EngineOption {
 	return func(c *engineConfig) { c.limits = l }
+}
+
+// WithProvenance makes the engine record one why-provenance witness
+// (firing rule plus ground parent facts) for every newly derived fact
+// into rec, bounded by the governor's MaxProvenanceEntries limit. All
+// four engines honor it. A nil recorder disables recording; the derive
+// path then pays a single nil check (see TestProvenanceDisabledAllocs).
+func WithProvenance(rec *prov.Recorder) EngineOption {
+	return func(c *engineConfig) { c.rec = rec }
 }
 
 func buildConfig(opts []EngineOption) engineConfig {
@@ -191,6 +202,7 @@ type bottomUp struct {
 	seminaive bool
 	workers   int
 	limits    governor.Limits
+	rec       *prov.Recorder
 	stats     atomic.Pointer[EvalStats]
 }
 
@@ -199,7 +211,7 @@ type bottomUp struct {
 // correctness baseline the optimized engines are tested against.
 func NewNaive(in Input, opts ...EngineOption) Engine {
 	cfg := buildConfig(opts)
-	return &bottomUp{in: in, workers: cfg.workers, limits: cfg.limits}
+	return &bottomUp{in: in, workers: cfg.workers, limits: cfg.limits, rec: cfg.rec}
 }
 
 // NewSemiNaive returns the semi-naive bottom-up engine: within each
@@ -209,7 +221,7 @@ func NewNaive(in Input, opts ...EngineOption) Engine {
 // concurrently.
 func NewSemiNaive(in Input, opts ...EngineOption) Engine {
 	cfg := buildConfig(opts)
-	return &bottomUp{in: in, seminaive: true, workers: cfg.workers, limits: cfg.limits}
+	return &bottomUp{in: in, seminaive: true, workers: cfg.workers, limits: cfg.limits, rec: cfg.rec}
 }
 
 // Name identifies the engine.
@@ -303,6 +315,7 @@ func (e *bottomUp) RetrieveContext(ctx context.Context, q Query) (res *Result, e
 		csp.End()
 		return err
 	}
+	provStart := e.rec.Len()
 	var runErr error
 	if e.workers <= 1 {
 		for i := range components {
@@ -314,6 +327,7 @@ func (e *bottomUp) RetrieveContext(ctx context.Context, q Query) (res *Result, e
 		runErr = runDAG(e.workers, p.graph.SCCDeps(), evalOne)
 	}
 	finishStats(stats, start, counters, runErr)
+	stats.ProvEntries = e.rec.Len() - provStart
 	e.stats.Store(stats)
 	endEvalSpan(evalSp, sp, stats)
 	if runErr != nil {
@@ -401,7 +415,7 @@ func (e *bottomUp) evalComponent(p *plan, d *derived, gov *governor.Governor, co
 	// First round: apply every rule once against the current state.
 	delta := newDerived(d.counters)
 	fresh := 0
-	err := applyRules(rules, full, func(fact term.Atom) error {
+	err := applyRules(rules, full, func(fact term.Atom, rule term.Rule, s term.Subst) error {
 		added, err := d.insert(fact)
 		if err != nil {
 			return err
@@ -409,6 +423,9 @@ func (e *bottomUp) evalComponent(p *plan, d *derived, gov *governor.Governor, co
 		if added {
 			fresh++
 			if err := gov.CountFacts(1); err != nil {
+				return err
+			}
+			if err := recordProv(e.rec, gov, fact, rule, s); err != nil {
 				return err
 			}
 			if _, err := delta.insert(fact); err != nil {
@@ -442,7 +459,7 @@ func (e *bottomUp) evalComponent(p *plan, d *derived, gov *governor.Governor, co
 		}
 		nextDelta := newDerived(d.counters)
 		grew := 0
-		sink := func(fact term.Atom) error {
+		sink := func(fact term.Atom, rule term.Rule, s term.Subst) error {
 			added, err := d.insert(fact)
 			if err != nil {
 				return err
@@ -450,6 +467,9 @@ func (e *bottomUp) evalComponent(p *plan, d *derived, gov *governor.Governor, co
 			if added {
 				grew++
 				if err := gov.CountFacts(1); err != nil {
+					return err
+				}
+				if err := recordProv(e.rec, gov, fact, rule, s); err != nil {
 					return err
 				}
 				if _, err := nextDelta.insert(fact); err != nil {
@@ -477,9 +497,25 @@ func (e *bottomUp) evalComponent(p *plan, d *derived, gov *governor.Governor, co
 	}
 }
 
+// deriveSink receives each derived ground head along with the rule that
+// fired and the substitution that instantiated it, so the caller can
+// record why-provenance without re-solving the body.
+type deriveSink func(fact term.Atom, rule term.Rule, s term.Subst) error
+
+// recordProv is the only provenance code on the hot derive path: with
+// recording disabled (nil recorder) it is a single branch, adding no
+// allocations per derived fact (enforced by TestProvenanceDisabledAllocs
+// and the provenance benchmarks).
+func recordProv(rec *prov.Recorder, gov *governor.Governor, fact term.Atom, rule term.Rule, s term.Subst) error {
+	if rec == nil {
+		return nil
+	}
+	return gov.CheckProvenanceEntries(rec.Record(fact, rule, rule.Body, s))
+}
+
 // applyRules derives the immediate consequences of the rules under the
 // lookup and feeds each derived ground head to sink.
-func applyRules(rules []term.Rule, lk lookup, sink func(term.Atom) error) error {
+func applyRules(rules []term.Rule, lk lookup, sink deriveSink) error {
 	for _, r := range rules {
 		var derr error
 		_, err := solveBody(r.Body, nil, lk, func(s term.Subst) bool {
@@ -491,7 +527,7 @@ func applyRules(rules []term.Rule, lk lookup, sink func(term.Atom) error) error 
 			if DeriveHook != nil {
 				DeriveHook(head)
 			}
-			if err := sink(head); err != nil {
+			if err := sink(head, r, s); err != nil {
 				derr = err
 				return false
 			}
@@ -511,7 +547,7 @@ func applyRules(rules []term.Rule, lk lookup, sink func(term.Atom) error) error 
 // body atom is resolved against the delta of the previous iteration. For
 // a rule with k recursive occurrences it evaluates k differentiated
 // variants, pinning occurrence i to the delta.
-func applyRulesSemiNaive(rules []term.Rule, inComp map[string]bool, full lookup, delta *derived, gov *governor.Governor, sink func(term.Atom) error) error {
+func applyRulesSemiNaive(rules []term.Rule, inComp map[string]bool, full lookup, delta *derived, gov *governor.Governor, sink deriveSink) error {
 	for _, r := range rules {
 		var recIdx []int
 		for i, a := range r.Body {
@@ -534,7 +570,7 @@ func applyRulesSemiNaive(rules []term.Rule, inComp map[string]bool, full lookup,
 				if DeriveHook != nil {
 					DeriveHook(head)
 				}
-				if err := sink(head); err != nil {
+				if err := sink(head, r, s); err != nil {
 					derr = err
 					return false
 				}

@@ -9,6 +9,7 @@ import (
 
 	"kdb/internal/governor"
 	"kdb/internal/obs"
+	"kdb/internal/prov"
 	"kdb/internal/term"
 )
 
@@ -39,15 +40,19 @@ type magic struct {
 	in      Input
 	workers int
 	limits  governor.Limits
+	rec     *prov.Recorder
 	stats   atomic.Pointer[EvalStats]
 }
 
 // NewMagic returns the magic-sets engine. WithWorkers and WithLimits
 // are forwarded to the semi-naive engine that evaluates the rewritten
-// program.
+// program. WithProvenance is forwarded through a rewriting view that
+// records witnesses under the original (unadorned) predicate names,
+// with magic-guard parents dropped, so explain trees agree with the
+// other engines.
 func NewMagic(in Input, opts ...EngineOption) Engine {
 	cfg := buildConfig(opts)
-	return &magic{in: in, workers: cfg.workers, limits: cfg.limits}
+	return &magic{in: in, workers: cfg.workers, limits: cfg.limits, rec: cfg.rec}
 }
 
 // Name identifies the engine.
@@ -84,7 +89,8 @@ func (e *magic) RetrieveContext(ctx context.Context, q Query) (res *Result, err 
 		return nil, err
 	}
 	inner := Input{Store: e.in.Store, Rules: rewritten}
-	engine := NewSemiNaive(inner, WithWorkers(e.workers), WithLimits(e.limits))
+	engine := NewSemiNaive(inner, WithWorkers(e.workers), WithLimits(e.limits),
+		WithProvenance(e.rec.Rewritten(magicProvRewrite)))
 	res, err = engine.RetrieveContext(ctx, Query{
 		Subject: term.NewAtom(queryPred, p.vars...),
 	})
@@ -101,6 +107,22 @@ func (e *magic) RetrieveContext(ctx context.Context, q Query) (res *Result, err 
 	}
 	res.Vars = p.vars
 	return res, nil
+}
+
+// magicProvRewrite maps an atom of the rewritten program back to source
+// form for provenance recording: magic guards (m$…) are dropped and
+// adorned predicates (p#bf…) recover their original name. Distinct
+// adorned variants of the same ground fact collapse onto one witness
+// (first recorded wins), which is why reconstruction must stay
+// cycle-safe.
+func magicProvRewrite(a term.Atom) (term.Atom, bool) {
+	if strings.HasPrefix(a.Pred, "m$") {
+		return term.Atom{}, false
+	}
+	if i := strings.IndexByte(a.Pred, '#'); i >= 0 {
+		return term.Atom{Pred: a.Pred[:i], Args: a.Args}, true
+	}
+	return a, true
 }
 
 // adornment is a binding pattern: 'b' for bound, 'f' for free, one byte

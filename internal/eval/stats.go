@@ -56,6 +56,9 @@ type EvalStats struct {
 	Probes      int64 `json:"probes"`
 	Candidates  int64 `json:"candidates"`
 	IndexBuilds int64 `json:"index_builds"`
+	// ProvEntries is the number of why-provenance witnesses this
+	// evaluation recorded (zero when recording was disabled).
+	ProvEntries int `json:"provenance_entries,omitempty"`
 	// Wall is the end-to-end evaluation time.
 	Wall time.Duration `json:"wall_ns"`
 	// StopReason is empty for a run-to-completion evaluation; a governed
@@ -82,6 +85,9 @@ func (s *EvalStats) String() string {
 	}
 	if s.Passes > 0 {
 		fmt.Fprintf(&b, " passes=%d tables=%d", s.Passes, s.Tables)
+	}
+	if s.ProvEntries > 0 {
+		fmt.Fprintf(&b, " provenance=%d", s.ProvEntries)
 	}
 	for _, c := range s.Components {
 		if c.Skipped {

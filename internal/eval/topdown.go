@@ -9,6 +9,7 @@ import (
 
 	"kdb/internal/governor"
 	"kdb/internal/obs"
+	"kdb/internal/prov"
 	"kdb/internal/storage"
 	"kdb/internal/term"
 )
@@ -22,15 +23,16 @@ import (
 type topDown struct {
 	in     Input
 	limits governor.Limits
+	rec    *prov.Recorder
 	stats  atomic.Pointer[EvalStats]
 }
 
 // NewTopDown returns the tabled top-down engine. It ignores WithWorkers
 // (tabling shares one answer-table space across the whole resolution)
-// but honors WithLimits.
+// but honors WithLimits and WithProvenance.
 func NewTopDown(in Input, opts ...EngineOption) Engine {
 	cfg := buildConfig(opts)
-	return &topDown{in: in, limits: cfg.limits}
+	return &topDown{in: in, limits: cfg.limits, rec: cfg.rec}
 }
 
 // Name identifies the engine.
@@ -52,6 +54,7 @@ type topDownRun struct {
 	graph map[string][]term.Rule
 	rn    term.Renamer
 	gov   *governor.Governor
+	rec   *prov.Recorder
 
 	tables   map[string]*table
 	pass     int
@@ -89,9 +92,11 @@ func (e *topDown) RetrieveContext(ctx context.Context, q Query) (res *Result, er
 		in:       e.in,
 		graph:    make(map[string][]term.Rule),
 		gov:      gov,
+		rec:      e.rec,
 		tables:   make(map[string]*table),
 		counters: &storage.Counters{},
 	}
+	provStart := e.rec.Len()
 	for _, r := range p.rules {
 		run.graph[r.Head.Pred] = append(run.graph[r.Head.Pred], r)
 	}
@@ -132,6 +137,7 @@ func (e *topDown) RetrieveContext(ctx context.Context, q Query) (res *Result, er
 	stats.Probes = run.counters.Probes.Load()
 	stats.Candidates = run.counters.Candidates.Load()
 	stats.IndexBuilds = run.counters.IndexBuilds.Load()
+	stats.ProvEntries = e.rec.Len() - provStart
 	stats.StopReason = governor.StopReason(runErr)
 	e.stats.Store(stats)
 	evalSp.SetInt("passes", int64(run.pass))
@@ -204,8 +210,9 @@ func (r *topDownRun) solveTable(goal term.Atom) error {
 		if !ok {
 			continue
 		}
+		body := mgu.ApplyFormula(fresh.Body)
 		var derr error
-		_, err := solveBody(mgu.ApplyFormula(fresh.Body), nil, r.lookup, func(s term.Subst) bool {
+		_, err := solveBody(body, nil, r.lookup, func(s term.Subst) bool {
 			// Large joins emit many solutions between lookups; tick per
 			// solution so cancellation latency stays bounded.
 			if derr = r.gov.Tick(); derr != nil {
@@ -229,6 +236,13 @@ func (r *topDownRun) solveTable(goal term.Atom) error {
 				if err := r.gov.CountFacts(1); err != nil {
 					derr = err
 					return false
+				}
+				if r.rec != nil {
+					n := r.rec.Record(head, rule, body, s)
+					if err := r.gov.CheckProvenanceEntries(n); err != nil {
+						derr = err
+						return false
+					}
 				}
 			}
 			return true

@@ -46,6 +46,10 @@ type Limits struct {
 	// (which truncates and returns partial answers), a governor breach
 	// is an error.
 	MaxDescribeNodes int
+	// MaxProvenanceEntries bounds the number of derivation witnesses a
+	// query may record when provenance recording is enabled. It governs
+	// nothing when recording is off.
+	MaxProvenanceEntries int
 }
 
 // LimitKind identifies which limit a LimitError reports.
@@ -58,6 +62,7 @@ const (
 	LimitIterations    LimitKind = "iterations"
 	LimitTableEntries  LimitKind = "tables"
 	LimitDescribeNodes LimitKind = "describe-nodes"
+	LimitProvenance    LimitKind = "provenance"
 )
 
 // ErrCanceled matches (via errors.Is) every error the governor returns
@@ -209,6 +214,18 @@ func (g *Governor) CheckTableEntries(n int) error {
 	}
 	if max := g.limits.MaxTableEntries; max > 0 && n > max {
 		return &LimitError{Kind: LimitTableEntries, Limit: int64(max)}
+	}
+	return nil
+}
+
+// CheckProvenanceEntries guards the witness count of a provenance
+// recorder.
+func (g *Governor) CheckProvenanceEntries(n int) error {
+	if g == nil {
+		return nil
+	}
+	if max := g.limits.MaxProvenanceEntries; max > 0 && n > max {
+		return &LimitError{Kind: LimitProvenance, Limit: int64(max)}
 	}
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 	"kdb/internal/governor"
 	"kdb/internal/obs"
 	"kdb/internal/parser"
+	"kdb/internal/prov"
 	"kdb/internal/storage"
 	"kdb/internal/term"
 )
@@ -65,6 +66,10 @@ type KB struct {
 	// allocation.
 	tracer   atomic.Pointer[obs.Tracer]
 	qmetrics atomic.Pointer[obs.QueryMetrics]
+
+	// qlog is the optional structured query log (WithQueryLog); nil-safe
+	// like the other hooks.
+	qlog atomic.Pointer[obs.QueryLog]
 
 	// describer is rebuilt lazily after each load.
 	describer *core.Describer
@@ -507,20 +512,23 @@ func (k *KB) Validate() []string {
 	return out
 }
 
-// newEngine builds the configured retrieve engine over the current state.
-func (k *KB) newEngine() eval.Engine {
+// newEngine builds the configured retrieve engine over the current
+// state; extra options (e.g. a provenance recorder) are appended.
+func (k *KB) newEngine(extra ...eval.EngineOption) eval.Engine {
 	in := eval.Input{Store: k.store, Rules: k.rules}
-	w := eval.WithWorkers(k.parallelism)
-	l := eval.WithLimits(k.limits)
+	opts := append([]eval.EngineOption{
+		eval.WithWorkers(k.parallelism),
+		eval.WithLimits(k.limits),
+	}, extra...)
 	switch k.engine {
 	case EngineNaive:
-		return eval.NewNaive(in, w, l)
+		return eval.NewNaive(in, opts...)
 	case EngineTopDown:
-		return eval.NewTopDown(in, w, l)
+		return eval.NewTopDown(in, opts...)
 	case EngineMagic:
-		return eval.NewMagic(in, w, l)
+		return eval.NewMagic(in, opts...)
 	default:
-		return eval.NewSemiNaive(in, w, l)
+		return eval.NewSemiNaive(in, opts...)
 	}
 }
 
@@ -589,6 +597,49 @@ func (k *KB) RetrieveOrContext(ctx context.Context, subject term.Atom, disjuncts
 	return merged, nil
 }
 
+// maxExplainNodes bounds the reconstructed derivation tree of one
+// explain statement: generous enough for real programs, small enough
+// that a pathological witness graph cannot exhaust memory while
+// rendering.
+const maxExplainNodes = 10000
+
+// Explain evaluates the subject like Retrieve while recording one
+// why-provenance witness per derived fact, then reconstructs the
+// derivation tree of every answer. See ExplainContext.
+func (k *KB) Explain(subject term.Atom, where term.Formula) (*prov.Explanation, error) {
+	return k.ExplainContext(context.Background(), subject, where)
+}
+
+// ExplainContext runs a governed retrieve of subject/where with
+// why-provenance recording on (the configured MaxProvenanceEntries
+// limit applies), then rebuilds the derivation trees of the answers.
+// Trees are cycle-safe for recursive predicates; leaves distinguish
+// stored facts (edb) from comparisons (builtin). The same recording
+// works on every engine, so an explain is a cross-checkable artifact:
+// all four engines must justify a fact by some valid tree.
+func (k *KB) ExplainContext(ctx context.Context, subject term.Atom, where term.Formula) (*prov.Explanation, error) {
+	k.mu.RLock()
+	rec := prov.NewRecorder()
+	engine := k.newEngine(eval.WithProvenance(rec))
+	res, err := engine.RetrieveContext(ctx, eval.Query{Subject: subject, Where: where})
+	k.recordStats(engine)
+	if err != nil {
+		k.mu.RUnlock()
+		return nil, err
+	}
+	store := k.store
+	k.mu.RUnlock()
+
+	esp := obs.SpanFromContext(ctx).Child("explain")
+	isStored := func(a term.Atom) bool { return store.Contains(a) }
+	exp := rec.Explain(subject, res.Atoms(subject), isStored, maxExplainNodes)
+	esp.SetInt("trees", int64(len(exp.Trees)))
+	esp.SetInt("nodes", int64(exp.Nodes))
+	esp.End()
+	k.qmetrics.Load().ObserveExplain(int64(exp.Nodes))
+	return exp, nil
+}
+
 // DescribeOr evaluates a knowledge query with a disjunctive hypothesis:
 // the answers that hold under every disjunct.
 func (k *KB) DescribeOr(subject term.Atom, disjuncts []term.Formula) (*core.Answers, error) {
@@ -627,6 +678,16 @@ func (k *KB) SetProvenance(on bool) {
 	k.mu.Lock()
 	k.provenance = on
 	k.mu.Unlock()
+}
+
+// Provenance reports whether provenance display is on.
+func (k *KB) Provenance() bool { return k.showProvenance() }
+
+// Intensional reports whether intensional answering is on.
+func (k *KB) Intensional() bool {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.intensional
 }
 
 // SetIntensional switches intensional answering for data queries on or
@@ -860,7 +921,7 @@ func (k *KB) ExecContext(ctx context.Context, q parser.Query) (*ExecResult, erro
 	ctx, finish := k.beginQuery(ctx)
 	res, err := k.execContext(ctx, q)
 	if finish != nil {
-		finish(queryKind(q), err)
+		finish(queryKind(q), q.String(), err)
 	}
 	return res, err
 }
@@ -935,6 +996,12 @@ func (k *KB) execContext(ctx context.Context, q parser.Query) (*ExecResult, erro
 			}
 			return &ExecResult{Query: q, Describe: ans, provenance: k.showProvenance()}, nil
 		}
+	case *parser.Explain:
+		exp, err := k.ExplainContext(ctx, s.Subject, s.Where)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Query: q, Explanation: exp}, nil
 	case *parser.Compare:
 		c, err := k.Compare(s.Left.Subject, s.Left.Where, s.Right.Subject, s.Right.Where)
 		if err != nil {
@@ -960,13 +1027,13 @@ func (k *KB) ExecStringContext(ctx context.Context, src string) (*ExecResult, er
 	psp.End()
 	if err != nil {
 		if finish != nil {
-			finish("parse", err)
+			finish("parse", strings.TrimSpace(src), err)
 		}
 		return nil, err
 	}
 	res, err := k.execContext(ctx, q)
 	if finish != nil {
-		finish(queryKind(q), err)
+		finish(queryKind(q), q.String(), err)
 	}
 	return res, err
 }
@@ -984,6 +1051,7 @@ type ExecResult struct {
 	Possibility *core.Possibility
 	Wildcard    []core.WildcardEntry
 	Comparison  *core.ConceptComparison
+	Explanation *prov.Explanation
 
 	subject    term.Atom
 	wildcard   bool
@@ -1026,11 +1094,7 @@ func (r *ExecResult) String() string {
 			if i > 0 {
 				b.WriteByte('\n')
 			}
-			b.WriteString(a.String())
-			for _, rule := range a.Provenance() {
-				b.WriteString("\n   via ")
-				b.WriteString(rule.String())
-			}
+			b.WriteString(a.StringWithProvenance())
 		}
 		return b.String()
 	case r.Necessity != nil:
@@ -1049,6 +1113,8 @@ func (r *ExecResult) String() string {
 			return "no subjects are derivable from this qualifier"
 		}
 		return b.String()
+	case r.Explanation != nil:
+		return strings.TrimRight(r.Explanation.String(), "\n")
 	case r.Comparison != nil:
 		return r.Comparison.String()
 	default:

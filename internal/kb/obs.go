@@ -32,12 +32,25 @@ func WithMetrics(reg *obs.Registry) Option {
 	}
 }
 
+// WithQueryLog attaches a structured query log: every finished query
+// (or only those at or above the log's slow threshold) appends one
+// JSONL record — statement, kind, latency, stop reason, per-query
+// EvalStats deltas, and the trace id of the query's root span when
+// tracing is also on.
+func WithQueryLog(l *obs.QueryLog) Option {
+	return func(k *KB) { k.qlog.Store(l) }
+}
+
 // SetTracer attaches (or, given nil, detaches) the span tracer at
 // runtime; it takes effect on the next query.
 func (k *KB) SetTracer(t *obs.Tracer) { k.tracer.Store(t) }
 
 // Tracer returns the attached span tracer, or nil.
 func (k *KB) Tracer() *obs.Tracer { return k.tracer.Load() }
+
+// SetQueryLog attaches (or, given nil, detaches) the structured query
+// log at runtime; it takes effect on the next query.
+func (k *KB) SetQueryLog(l *obs.QueryLog) { k.qlog.Store(l) }
 
 // queryMark marks a context already inside an observed query, so nested
 // Exec paths (ExecStringContext → ExecContext, intensional answering)
@@ -47,14 +60,16 @@ type queryMark struct{}
 // beginQuery opens the per-query observability scope: a root "query"
 // span placed in the context for the engines to hang children on, and a
 // latency clock. The returned finish func ends the scope; call it
-// exactly once with the statement kind and the query's error. When
-// neither a tracer nor metrics are configured — or when the context is
-// already inside an observed query — ctx comes back untouched and
-// finish is nil, keeping the disabled path free of allocations.
-func (k *KB) beginQuery(ctx context.Context) (context.Context, func(kind string, err error)) {
+// exactly once with the statement kind, the statement text, and the
+// query's error. When no tracer, metrics, or query log is configured —
+// or when the context is already inside an observed query — ctx comes
+// back untouched and finish is nil, keeping the disabled path free of
+// allocations.
+func (k *KB) beginQuery(ctx context.Context) (context.Context, func(kind, stmt string, err error)) {
 	tr := k.tracer.Load()
 	qm := k.qmetrics.Load()
-	if (tr == nil && qm == nil) || ctx.Value(queryMark{}) != nil {
+	ql := k.qlog.Load()
+	if (tr == nil && qm == nil && ql == nil) || ctx.Value(queryMark{}) != nil {
 		return ctx, nil
 	}
 	ctx = context.WithValue(ctx, queryMark{}, true)
@@ -62,7 +77,7 @@ func (k *KB) beginQuery(ctx context.Context) (context.Context, func(kind string,
 	ctx = obs.ContextWithSpan(ctx, root)
 	start := time.Now()
 	prev := k.lastStats.Load()
-	return ctx, func(kind string, err error) {
+	return ctx, func(kind, stmt string, err error) {
 		d := time.Since(start)
 		stop := governor.StopReason(err)
 		if stop == "error" {
@@ -76,9 +91,33 @@ func (k *KB) beginQuery(ctx context.Context) (context.Context, func(kind string,
 			root.SetBool("error", true)
 		}
 		qm.ObserveQuery(kind, d, stop, err != nil)
-		if st := k.lastStats.Load(); st != nil && st != prev {
+		st := k.lastStats.Load()
+		freshStats := st != nil && st != prev
+		if freshStats {
 			qm.ObserveEval(int64(st.Facts), st.Lookups, st.Probes,
-				st.Candidates, st.IndexBuilds, sumIterations(st))
+				st.Candidates, st.IndexBuilds, sumIterations(st), int64(st.ProvEntries))
+		}
+		if ql != nil {
+			rec := obs.QueryLogRecord{
+				Statement: stmt,
+				Kind:      kind,
+				DurUS:     d.Microseconds(),
+				Stop:      stop,
+				TraceID:   root.ID(),
+			}
+			if err != nil {
+				rec.Error = err.Error()
+			}
+			if freshStats {
+				rec.Engine = st.Engine
+				rec.Facts = int64(st.Facts)
+				rec.Lookups = st.Lookups
+				rec.Probes = st.Probes
+				rec.Candidates = st.Candidates
+				rec.IndexBuilds = st.IndexBuilds
+				rec.ProvEntries = int64(st.ProvEntries)
+			}
+			ql.Observe(rec) // best-effort: a full disk must not fail the query
 		}
 		tr.Finish(root)
 	}
@@ -116,6 +155,8 @@ func queryKind(q parser.Query) string {
 		}
 	case *parser.Compare:
 		return "compare"
+	case *parser.Explain:
+		return "explain"
 	default:
 		return "unknown"
 	}

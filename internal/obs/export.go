@@ -12,8 +12,13 @@ import (
 // object per line, spans in depth-first (pre-order) order, children
 // referring to their parent by index.
 type jsonlSpan struct {
-	ID      int            `json:"id"`
-	Parent  int            `json:"parent"` // -1 for the root
+	ID     int `json:"id"`
+	Parent int `json:"parent"` // -1 for the root
+	// SpanID is the process-unique Span.ID(), emitted on root records
+	// only so query-log lines (whose trace_id is the same counter) join
+	// against trace files; within-trace parent links use the relative
+	// ids above.
+	SpanID  uint64         `json:"span_id,omitempty"`
 	Name    string         `json:"name"`
 	StartUS int64          `json:"start_us"` // µs since the root span started
 	DurUS   int64          `json:"dur_us"`
@@ -67,6 +72,9 @@ func WriteJSONL(w io.Writer, root *Span) error {
 			DurUS:   s.Duration().Microseconds(),
 			Worker:  s.Worker(),
 			Attrs:   attrMap(s.Attrs()),
+		}
+		if parent == -1 {
+			js.SpanID = s.ID()
 		}
 		my := id
 		id++

@@ -14,6 +14,7 @@ package obs
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -63,6 +64,7 @@ func (a Attr) Value() any {
 type Span struct {
 	name  string
 	start time.Time
+	id    uint64
 
 	mu       sync.Mutex
 	end      time.Time
@@ -71,8 +73,43 @@ type Span struct {
 	children []*Span
 }
 
+// spanIDs issues process-unique span ids, so a query-log record can
+// reference the trace that captured the same query.
+var spanIDs atomic.Uint64
+
 func newSpan(name string) *Span {
-	return &Span{name: name, start: time.Now(), worker: -1}
+	return &Span{name: name, start: time.Now(), worker: -1, id: spanIDs.Add(1)}
+}
+
+// NewSpanAt constructs a detached, already-ended span with an explicit
+// time interval. It exists for synthetic span trees — structures that
+// are not timed phases of a query but want to reuse the span exporters,
+// such as derivation trees rendered as a Chrome trace where width
+// encodes subtree size.
+func NewSpanAt(name string, start, end time.Time) *Span {
+	s := newSpan(name)
+	s.start = start
+	s.end = end
+	return s
+}
+
+// AddChild attaches an existing span as a child of s. No-op when either
+// is nil. Used alongside NewSpanAt to assemble synthetic trees.
+func (s *Span) AddChild(c *Span) {
+	if s == nil || c == nil {
+		return
+	}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// ID returns the process-unique span id, or 0 for a nil span.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // Child creates and returns a sub-span. Returns nil if s is nil.

@@ -75,8 +75,9 @@ func TestNilSafety(t *testing.T) {
 
 	var qm *QueryMetrics
 	qm.ObserveQuery("retrieve", time.Millisecond, "", false)
-	qm.ObserveEval(1, 2, 3, 4, 5, 6)
+	qm.ObserveEval(1, 2, 3, 4, 5, 6, 7)
 	qm.ObserveDescribe(1)
+	qm.ObserveExplain(3)
 	var sm *StorageMetrics
 	sm.ObserveWALAppend(time.Millisecond, 10)
 	sm.ObserveWALSync(time.Millisecond)
@@ -196,7 +197,8 @@ func buildSampleTrace() *Span {
 }
 
 var (
-	usRe = regexp.MustCompile(`"(start_us|dur_us)":\d+`)
+	usRe     = regexp.MustCompile(`"(start_us|dur_us)":\d+`)
+	spanIDRe = regexp.MustCompile(`"span_id":\d+`)
 )
 
 func TestJSONLGolden(t *testing.T) {
@@ -206,8 +208,14 @@ func TestJSONLGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := usRe.ReplaceAllString(buf.String(), `"$1":0`)
+	// The root's span_id is the process-unique counter; normalize it but
+	// require its presence (query-log records join on it).
+	if !spanIDRe.MatchString(got) {
+		t.Errorf("root record missing span_id:\n%s", got)
+	}
+	got = spanIDRe.ReplaceAllString(got, `"span_id":7`)
 	want := strings.Join([]string{
-		`{"id":0,"parent":-1,"name":"query","start_us":0,"dur_us":0,"attrs":{"kind":"describe"}}`,
+		`{"id":0,"parent":-1,"span_id":7,"name":"query","start_us":0,"dur_us":0,"attrs":{"kind":"describe"}}`,
 		`{"id":1,"parent":0,"name":"parse","start_us":0,"dur_us":0}`,
 		`{"id":2,"parent":0,"name":"analyze","start_us":0,"dur_us":0}`,
 		`{"id":3,"parent":0,"name":"eval","start_us":0,"dur_us":0,"attrs":{"facts":3}}`,
@@ -346,7 +354,7 @@ func TestMetricsEndpointPrometheusFormat(t *testing.T) {
 	sm := NewStorageMetrics(reg)
 	qm.ObserveQuery("retrieve", 2*time.Millisecond, "", false)
 	qm.ObserveQuery("describe", 5*time.Millisecond, "limit:describe-nodes", true)
-	qm.ObserveEval(10, 20, 30, 40, 1, 3)
+	qm.ObserveEval(10, 20, 30, 40, 1, 3, 2)
 	qm.ObserveDescribe(12)
 	sm.ObserveWALAppend(time.Millisecond, 128)
 	sm.ObserveWALSync(time.Millisecond)

@@ -21,6 +21,8 @@ type QueryMetrics struct {
 	idxB    *Counter
 	iters   *Counter
 	descN   *Counter
+	provE   *Counter
+	explN   *Counter
 }
 
 type kindInstruments struct {
@@ -46,6 +48,8 @@ func NewQueryMetrics(reg *Registry) *QueryMetrics {
 	reg.SetHelp("kdb_storage_index_builds_total", "Lazy hash indexes built by stored-relation probes.")
 	reg.SetHelp("kdb_scc_iterations_total", "Fixpoint iterations summed over rule-graph SCCs.")
 	reg.SetHelp("kdb_describe_nodes_total", "Nodes expanded by describe searches.")
+	reg.SetHelp("kdb_provenance_entries_total", "Why-provenance witnesses recorded by evaluations.")
+	reg.SetHelp("kdb_explain_nodes_total", "Derivation-tree nodes reconstructed by explain queries.")
 	m := &QueryMetrics{
 		reg:     reg,
 		byKind:  map[string]*kindInstruments{},
@@ -57,6 +61,8 @@ func NewQueryMetrics(reg *Registry) *QueryMetrics {
 		idxB:    reg.Counter("kdb_storage_index_builds_total"),
 		iters:   reg.Counter("kdb_scc_iterations_total"),
 		descN:   reg.Counter("kdb_describe_nodes_total"),
+		provE:   reg.Counter("kdb_provenance_entries_total"),
+		explN:   reg.Counter("kdb_explain_nodes_total"),
 	}
 	// Pre-register the latency histogram for the common kinds so the
 	// family exists before the first query.
@@ -108,7 +114,7 @@ func (m *QueryMetrics) ObserveQuery(kind string, d time.Duration, stopReason str
 
 // ObserveEval folds one retrieve evaluation's counters into the
 // registry.
-func (m *QueryMetrics) ObserveEval(facts, lookups, probes, candidates, indexBuilds, iterations int64) {
+func (m *QueryMetrics) ObserveEval(facts, lookups, probes, candidates, indexBuilds, iterations, provEntries int64) {
 	if m == nil {
 		return
 	}
@@ -118,6 +124,16 @@ func (m *QueryMetrics) ObserveEval(facts, lookups, probes, candidates, indexBuil
 	m.cands.Add(candidates)
 	m.idxB.Add(indexBuilds)
 	m.iters.Add(iterations)
+	m.provE.Add(provEntries)
+}
+
+// ObserveExplain folds one explain query's reconstructed node count
+// into the registry.
+func (m *QueryMetrics) ObserveExplain(nodes int64) {
+	if m == nil {
+		return
+	}
+	m.explN.Add(nodes)
 }
 
 // ObserveDescribe folds one describe search's node count into the

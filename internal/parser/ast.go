@@ -66,8 +66,8 @@ func (d Declaration) String() string {
 	}
 }
 
-// Query is a parsed query statement: one of *Retrieve, *Describe, or
-// *Compare.
+// Query is a parsed query statement: one of *Retrieve, *Describe,
+// *Compare, or *Explain.
 type Query interface {
 	fmt.Stringer
 	isQuery()
@@ -177,6 +177,30 @@ func (q *Describe) String() string {
 	}
 	b.WriteByte('.')
 	return b.String()
+}
+
+// Explain is the why-provenance statement: it evaluates the subject
+// like a retrieve (with an optional positive qualifier) while recording
+// derivation witnesses, then reconstructs the derivation tree of every
+// answer:
+//
+//	explain p(a, b).
+//	explain p(X) where q(X).
+type Explain struct {
+	Subject term.Atom
+	Where   term.Formula
+	Pos     Pos
+}
+
+func (*Explain) isQuery() {}
+
+// String renders the statement in surface syntax.
+func (q *Explain) String() string {
+	s := "explain " + q.Subject.String()
+	if len(q.Where) > 0 {
+		s += " where " + q.Where.String()
+	}
+	return s + "."
 }
 
 // Compare is the §6 concept-comparison statement:

@@ -83,9 +83,9 @@ func (t Token) String() string {
 }
 
 var keywords = map[string]bool{
-	"retrieve": true, "describe": true, "compare": true, "with": true,
-	"where": true, "and": true, "or": true, "not": true, "necessary": true,
-	"true": true,
+	"retrieve": true, "describe": true, "compare": true, "explain": true,
+	"with": true, "where": true, "and": true, "or": true, "not": true,
+	"necessary": true, "true": true,
 }
 
 // IsReserved reports whether name is a reserved word of the language.

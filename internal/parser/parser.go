@@ -434,9 +434,48 @@ func (p *parser) parseQuery() (Query, error) {
 			return nil, err
 		}
 		return p.parseCompare(pos)
+	case p.atKeyword("explain"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return p.parseExplain(pos)
 	default:
-		return nil, errf(pos, "expected retrieve, describe, or compare, found %s", p.tok)
+		return nil, errf(pos, "expected retrieve, describe, compare, or explain, found %s", p.tok)
 	}
+}
+
+// parseExplain parses `explain p(…) [where ψ].` — a retrieve-shaped
+// statement without disjunction (a derivation tree explains one
+// evaluation, not a union of them).
+func (p *parser) parseExplain(pos Pos) (Query, error) {
+	subject, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	if term.IsComparison(subject) {
+		return nil, errf(pos, "the subject of explain cannot be a comparison")
+	}
+	q := &Explain{Subject: subject, Pos: pos}
+	if p.atKeyword("where") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		where, nots, err := p.parseConjunction(false)
+		if err != nil {
+			return nil, err
+		}
+		if len(nots) > 0 {
+			return nil, errf(pos, "explain qualifiers are positive formulas; 'not' is not allowed")
+		}
+		q.Where = where
+		if p.atKeyword("or") {
+			return nil, errf(pos, "'or' is not allowed in explain qualifiers")
+		}
+	}
+	if _, err := p.expect(TokDot); err != nil {
+		return nil, err
+	}
+	return q, nil
 }
 
 func (p *parser) parseRetrieve(pos Pos) (Query, error) {

@@ -36,6 +36,7 @@ package kdb
 import (
 	"io"
 	"net/http"
+	"time"
 
 	"kdb/internal/analysis"
 	"kdb/internal/catalog"
@@ -45,6 +46,7 @@ import (
 	"kdb/internal/kb"
 	"kdb/internal/obs"
 	"kdb/internal/parser"
+	"kdb/internal/prov"
 	"kdb/internal/term"
 )
 
@@ -130,6 +132,7 @@ const (
 	LimitIterations    = governor.LimitIterations
 	LimitTableEntries  = governor.LimitTableEntries
 	LimitDescribeNodes = governor.LimitDescribeNodes
+	LimitProvenance    = governor.LimitProvenance
 )
 
 // Term-language types.
@@ -156,6 +159,8 @@ type (
 	DescribeQuery = parser.Describe
 	// CompareQuery is a parsed concept comparison.
 	CompareQuery = parser.Compare
+	// ExplainQuery is a parsed why-provenance query.
+	ExplainQuery = parser.Explain
 	// Result is the extensional answer to a retrieve.
 	Result = eval.Result
 	// Answers is the set of rules answering a describe.
@@ -262,6 +267,54 @@ func WriteTraceTree(w io.Writer, root *Span) error { return obs.WriteTree(w, roo
 // DebugHandler serves /metrics (Prometheus text), /debug/vars (expvar),
 // and /debug/pprof/* over the registry.
 func DebugHandler(reg *MetricsRegistry) http.Handler { return obs.DebugHandler(reg) }
+
+// Provenance & explain types: the why-provenance layer behind the
+// `explain` statement (see KB.Explain).
+type (
+	// Explanation is the reconstructed derivation of every answer to an
+	// explain statement: one tree per answer fact, plus the legend of
+	// rules the trees reference.
+	Explanation = prov.Explanation
+	// ExplainNode is one node of a derivation tree.
+	ExplainNode = prov.Node
+	// ExplainNodeKind classifies a derivation-tree node (derived, edb,
+	// builtin, cycle, unknown, truncated).
+	ExplainNodeKind = prov.NodeKind
+	// QueryLog appends one JSONL record per finished query (optionally
+	// only slow ones); see WithQueryLog.
+	QueryLog = obs.QueryLog
+	// QueryLogRecord is one line of the structured query log.
+	QueryLogRecord = obs.QueryLogRecord
+)
+
+// Derivation-tree node kinds.
+const (
+	ExplainDerived   = prov.NodeDerived
+	ExplainEDB       = prov.NodeEDB
+	ExplainBuiltin   = prov.NodeBuiltin
+	ExplainCycle     = prov.NodeCycle
+	ExplainTruncated = prov.NodeTruncated
+)
+
+// NewQueryLog returns a structured query log writing JSONL to w. With
+// slow > 0 only queries of at least that duration are logged; 0 logs
+// every query.
+func NewQueryLog(w io.Writer, slow time.Duration) *QueryLog { return obs.NewQueryLog(w, slow) }
+
+// WithQueryLog attaches a structured query log to the KB: one JSONL
+// record per finished query — statement, kind, latency, stop reason,
+// evaluation deltas, and the root-span trace id when tracing is on.
+func WithQueryLog(l *QueryLog) Option { return kb.WithQueryLog(l) }
+
+// WriteExplainJSON exports an explanation as indented JSON.
+func WriteExplainJSON(w io.Writer, e *Explanation) error { return e.WriteJSON(w) }
+
+// WriteExplainChromeTrace exports an explanation's derivation trees in
+// the Chrome trace-event format (load in Perfetto or chrome://tracing):
+// a flame graph where width is subtree size.
+func WriteExplainChromeTrace(w io.Writer, e *Explanation) error {
+	return e.WriteChromeTrace(w)
+}
 
 // MetricsJSON renders the registry's current state as indented JSON.
 func MetricsJSON(reg *MetricsRegistry) ([]byte, error) { return obs.MetricsJSON(reg) }
