@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"kdb"
+)
+
+// serverBenchWorkload is one HTTP-path benchmark unit: a statement run
+// repeatedly against one tenant of an in-process kdb server.
+type serverBenchWorkload struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant"`
+	Route  string `json:"route"`
+	Stmt   string `json:"stmt"`
+	args   []any
+}
+
+// serverBenchResult measures one HTTP workload, with the latency read
+// back from the server's own request histogram — so the benchmark
+// doubles as an end-to-end check of the serve instrumentation, and the
+// numbers are comparable against the library-path workloads in the
+// same report (the HTTP overhead is their difference).
+type serverBenchResult struct {
+	serverBenchWorkload
+	Iterations    int64   `json:"iterations"`
+	TotalSeconds  float64 `json:"total_seconds"`
+	MeanSeconds   float64 `json:"mean_seconds"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+	// PreparedHits counts this workload's prepared-statement cache hits
+	// (iters-1 for a parameterized statement: only the first parses).
+	PreparedHits int64 `json:"prepared_hits"`
+}
+
+func serverBenchWorkloads() []serverBenchWorkload {
+	return []serverBenchWorkload{
+		{ID: "server-retrieve-honor", Tenant: "university", Route: "retrieve",
+			Stmt: `retrieve honor(X) where enroll(X, $1).`, args: []any{"databases"}},
+		{ID: "server-describe-can-ta", Tenant: "university", Route: "describe",
+			Stmt: `describe can_ta(X, databases) where student(X, math, V) and V > 3.7.`},
+		{ID: "server-retrieve-reachable", Tenant: "routes", Route: "retrieve",
+			Stmt: `retrieve reachable(la, Y).`},
+		{ID: "server-explain-reachable", Tenant: "routes", Route: "explain",
+			Stmt: `explain reachable(la, Y).`},
+	}
+}
+
+// runServerBench starts an in-process `kdb serve` (in-memory tenants),
+// loads the experiment datasets into two tenants over HTTP, and runs
+// every workload iters times through the full HTTP+JSON path.
+func runServerBench(dataDir string, iters int, out io.Writer) ([]serverBenchResult, error) {
+	reg := kdb.NewMetricsRegistry()
+	srv, err := kdb.NewServer(kdb.ServerConfig{Registry: reg})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	for _, tenant := range []string{"university", "routes"} {
+		src, err := os.ReadFile(filepath.Join(dataDir, tenant+".kdb"))
+		if err != nil {
+			return nil, err
+		}
+		if err := postBench(base+"/v1/kb/"+tenant+"/load", map[string]any{"program": string(src)}); err != nil {
+			return nil, fmt.Errorf("loading tenant %s: %w", tenant, err)
+		}
+	}
+
+	hits := func() int64 {
+		for _, p := range reg.Snapshot() {
+			if p.Name == "kdb_server_prepared_total" && p.Labels["result"] == "hit" {
+				return int64(p.Value)
+			}
+		}
+		return 0
+	}
+	histogram := func(route string) (int64, float64) {
+		for _, p := range reg.Snapshot() {
+			if p.Name == "kdb_server_request_seconds" && p.Labels["route"] == route {
+				return p.Count, p.Sum
+			}
+		}
+		return 0, 0
+	}
+
+	var results []serverBenchResult
+	for _, w := range serverBenchWorkloads() {
+		count0, sum0 := histogram(w.Route)
+		hits0 := hits()
+		body := map[string]any{"stmt": w.Stmt}
+		if w.args != nil {
+			body["args"] = w.args
+		}
+		for i := 0; i < iters; i++ {
+			if err := postBench(base+"/v1/kb/"+w.Tenant+"/"+w.Route, body); err != nil {
+				return nil, fmt.Errorf("workload %s: %w", w.ID, err)
+			}
+		}
+		count1, sum1 := histogram(w.Route)
+		res := serverBenchResult{
+			serverBenchWorkload: w,
+			Iterations:          count1 - count0,
+			TotalSeconds:        sum1 - sum0,
+			PreparedHits:        hits() - hits0,
+		}
+		if res.Iterations > 0 {
+			res.MeanSeconds = res.TotalSeconds / float64(res.Iterations)
+		}
+		if res.TotalSeconds > 0 {
+			res.ThroughputQPS = float64(res.Iterations) / res.TotalSeconds
+		}
+		fmt.Fprintf(out, "bench %-24s iters=%d total=%.6fs mean=%.6fs qps=%.0f prepared-hits=%d\n",
+			w.ID, res.Iterations, res.TotalSeconds, res.MeanSeconds, res.ThroughputQPS, res.PreparedHits)
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// postBench sends one JSON request and fails on a non-200 status.
+func postBench(url string, body any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, msg)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return nil
+}

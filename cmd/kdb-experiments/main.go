@@ -9,7 +9,7 @@
 // Usage:
 //
 //	kdb-experiments [-data testdata]
-//	kdb-experiments -bench BENCH_PR5.json [-bench-iters N]
+//	kdb-experiments -bench BENCH_PR6.json [-bench-iters N]
 //
 // With -bench, a fixed set of query workloads runs instead and a JSON
 // report lands in the named file: per-workload iteration counts, total
@@ -311,11 +311,15 @@ type benchResult struct {
 	Metrics       []kdb.MetricPoint `json:"metrics"`
 }
 
-// benchReport is the top-level BENCH_PR5.json document.
+// benchReport is the top-level BENCH_PR6.json document. Workloads run
+// the library path (direct ExecString calls); ServerWorkloads run the
+// same statements through the `kdb serve` HTTP data plane, so the two
+// sections bracket the cost of the server layer.
 type benchReport struct {
-	Bench     string        `json:"bench"`
-	Go        string        `json:"go"`
-	Workloads []benchResult `json:"workloads"`
+	Bench           string              `json:"bench"`
+	Go              string              `json:"go"`
+	Workloads       []benchResult       `json:"workloads"`
+	ServerWorkloads []serverBenchResult `json:"server_workloads"`
 }
 
 func benchWorkloads() []benchWorkload {
@@ -343,7 +347,7 @@ func benchWorkloads() []benchWorkload {
 // runBench executes every workload iters times over a fresh KB with a
 // fresh metrics registry and writes the JSON report to path.
 func runBench(dataDir, path string, iters int, out io.Writer) error {
-	report := benchReport{Bench: "PR5", Go: runtime.Version()}
+	report := benchReport{Bench: "PR6", Go: runtime.Version()}
 	for _, w := range benchWorkloads() {
 		reg := kdb.NewMetricsRegistry()
 		saved := kbOptions
@@ -375,6 +379,11 @@ func runBench(dataDir, path string, iters int, out io.Writer) error {
 			w.ID, res.Iterations, res.TotalSeconds, res.MeanSeconds, res.ThroughputQPS)
 		report.Workloads = append(report.Workloads, res)
 	}
+	server, err := runServerBench(dataDir, iters, out)
+	if err != nil {
+		return fmt.Errorf("server bench: %w", err)
+	}
+	report.ServerWorkloads = server
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -385,7 +394,8 @@ func runBench(dataDir, path string, iters int, out io.Writer) error {
 	if err := enc.Encode(report); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "wrote %s (%d workloads)\n", path, len(report.Workloads))
+	fmt.Fprintf(out, "wrote %s (%d library + %d server workloads)\n",
+		path, len(report.Workloads), len(report.ServerWorkloads))
 	return nil
 }
 

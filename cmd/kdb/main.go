@@ -6,6 +6,12 @@
 //
 //	kdb [flags] [program.kdb ...]
 //	kdb check [-json] [-strict] program.kdb ...
+//	kdb serve [-addr HOST:PORT] [-root DIR] [-max-open N] [-idle DUR] ...
+//
+// The serve subcommand exposes named knowledge bases over HTTP+JSON:
+// multi-tenant (one store per name under -root, or in-memory), with
+// prepared parameterized statements, per-request quota clamping, and
+// the metrics/pprof debug surface on the same address.
 //
 // With -exec the given queries run and the program exits; otherwise an
 // interactive prompt reads statements (terminated by '.') and meta
@@ -25,6 +31,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -50,6 +57,9 @@ func main() {
 func run(args []string, in io.Reader, out io.Writer) error {
 	if len(args) > 0 && args[0] == "check" {
 		return runCheck(args[1:], out)
+	}
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], out)
 	}
 	fs := flag.NewFlagSet("kdb", flag.ContinueOnError)
 	var (
@@ -132,7 +142,16 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		if !*quiet {
 			fmt.Fprintf(out, "debug server on http://%s/ (metrics, expvar, pprof)\n", ln.Addr())
 		}
-		go http.Serve(ln, kdb.DebugHandler(reg))
+		// A failing debug server must not be silent: earlier versions
+		// discarded http.Serve's error, so a mid-session failure looked
+		// like a healthy endpoint that never answered. The expected
+		// error when the deferred Close tears the listener down at exit
+		// stays quiet.
+		go func() {
+			if err := http.Serve(ln, kdb.DebugHandler(reg)); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintln(os.Stderr, "kdb: debug server:", err)
+			}
+		}()
 	}
 	var k *kdb.KB
 	var err error

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"kdb/internal/term"
 )
@@ -62,9 +63,25 @@ func (p *Pred) Functor() string {
 	return fmt.Sprintf("%s/%d", p.Name, p.Arity)
 }
 
+// clone returns an independent copy (Keys deep-copied), so accessors can
+// hand descriptors across the catalog's lock boundary.
+func (p *Pred) clone() *Pred {
+	cp := *p
+	if p.Keys != nil {
+		cp.Keys = make([][]int, len(p.Keys))
+		for i, k := range p.Keys {
+			cp.Keys[i] = append([]int(nil), k...)
+		}
+	}
+	return &cp
+}
+
 // Catalog is the schema of one knowledge base. The zero value is not
-// usable; call New.
+// usable; call New. All methods are safe for concurrent use; accessors
+// return copies, so a descriptor read by one goroutine is never mutated
+// by a concurrent Promote/AddKey/SetDisplay.
 type Catalog struct {
+	mu    sync.RWMutex
 	preds map[string]*Pred // keyed by name (arity is enforced consistent)
 }
 
@@ -78,13 +95,34 @@ func New() *Catalog {
 	return c
 }
 
-// Lookup returns the predicate descriptor, or nil if unknown.
-func (c *Catalog) Lookup(name string) *Pred { return c.preds[name] }
+// Lookup returns a copy of the predicate descriptor, or nil if unknown.
+func (c *Catalog) Lookup(name string) *Pred {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if p := c.preds[name]; p != nil {
+		return p.clone()
+	}
+	return nil
+}
+
+// Arity returns the declared arity of a predicate and whether it is
+// known. A predicate known only from a @name declaration reports
+// (-1, true).
+func (c *Catalog) Arity(name string) (int, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if p := c.preds[name]; p != nil {
+		return p.Arity, true
+	}
+	return 0, false
+}
 
 // Class returns the class of a predicate name; unknown names report
 // ClassEDB (an unknown predicate in a query body is an empty stored
 // relation, matching standard Datalog semantics) and false.
 func (c *Catalog) Class(name string) (Class, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if p := c.preds[name]; p != nil {
 		return p.Class, true
 	}
@@ -93,39 +131,52 @@ func (c *Catalog) Class(name string) (Class, bool) {
 
 // IsIDB reports whether the predicate is intensional.
 func (c *Catalog) IsIDB(name string) bool {
-	p := c.preds[name]
-	return p != nil && p.Class == ClassIDB
+	cl, ok := c.Class(name)
+	return ok && cl == ClassIDB
 }
 
 // IsEDB reports whether the predicate is extensional (stored).
 func (c *Catalog) IsEDB(name string) bool {
-	p := c.preds[name]
-	return p != nil && p.Class == ClassEDB
+	cl, ok := c.Class(name)
+	return ok && cl == ClassEDB
 }
 
 // IsBuiltin reports whether the predicate is a built-in comparison.
 func (c *Catalog) IsBuiltin(name string) bool {
-	p := c.preds[name]
-	return p != nil && p.Class == ClassBuiltin
+	cl, ok := c.Class(name)
+	return ok && cl == ClassBuiltin
 }
 
-// Preds returns all registered predicates of the given class, sorted by
-// name for deterministic iteration.
+// Preds returns copies of all registered predicates of the given class,
+// sorted by name for deterministic iteration.
 func (c *Catalog) Preds(class Class) []*Pred {
+	c.mu.RLock()
 	var out []*Pred
 	for _, p := range c.preds {
 		if p.Class == class {
-			out = append(out, p)
+			out = append(out, p.clone())
 		}
 	}
+	c.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
 // Declare registers a predicate with the given class and arity. It is an
 // error to re-declare with a different arity or a conflicting class.
-// Re-declaring identically is a no-op.
+// Re-declaring identically is a no-op. The returned descriptor is a
+// copy.
 func (c *Catalog) Declare(name string, arity int, class Class) (*Pred, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, err := c.declareLocked(name, arity, class)
+	if err != nil {
+		return nil, err
+	}
+	return p.clone(), nil
+}
+
+func (c *Catalog) declareLocked(name string, arity int, class Class) (*Pred, error) {
 	if term.IsComparisonPred(name) && class != ClassBuiltin {
 		return nil, fmt.Errorf("catalog: %q is a built-in comparison and cannot be redefined", name)
 	}
@@ -148,6 +199,8 @@ func (c *Catalog) Declare(name string, arity int, class Class) (*Pred, error) {
 // defines it: its facts become bodiless rules (paper §2.1 allows rules
 // with n = 0 subgoals).
 func (c *Catalog) Promote(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	p, ok := c.preds[name]
 	if !ok {
 		return fmt.Errorf("catalog: cannot promote unknown predicate %s", name)
@@ -162,11 +215,13 @@ func (c *Catalog) Promote(name string) error {
 // AddKey records a candidate key (1-based column numbers) for the
 // predicate. The predicate must already be declared with matching arity.
 func (c *Catalog) AddKey(name string, arity int, cols []int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	p, ok := c.preds[name]
 	if !ok {
 		// Allow a @key declaration to precede the first fact.
 		var err error
-		p, err = c.Declare(name, arity, ClassEDB)
+		p, err = c.declareLocked(name, arity, ClassEDB)
 		if err != nil {
 			return err
 		}
@@ -197,6 +252,8 @@ func (c *Catalog) AddKey(name string, arity int, cols []int) error {
 // declaring it lazily if needed (the artificial predicates of the
 // transformation may not exist yet when the program is loaded).
 func (c *Catalog) SetDisplay(name, display string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	p, ok := c.preds[name]
 	if !ok {
 		p = &Pred{Name: name, Arity: -1, Class: ClassIDB}
@@ -208,6 +265,8 @@ func (c *Catalog) SetDisplay(name, display string) {
 // DisplayName returns the preferred rendering name for a predicate
 // (falling back to the predicate name itself).
 func (c *Catalog) DisplayName(name string) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	if p, ok := c.preds[name]; ok && p.Display != "" {
 		return p.Display
 	}

@@ -89,13 +89,13 @@ func TestAddKey(t *testing.T) {
 	if p == nil || len(p.Keys) != 1 || p.Keys[0][0] != 1 {
 		t.Fatalf("key not recorded: %+v", p)
 	}
-	// Idempotent.
-	if err := c.AddKey("student", 3, []int{1}); err != nil || len(p.Keys) != 1 {
-		t.Errorf("repeated AddKey: err=%v keys=%v", err, p.Keys)
+	// Idempotent. Lookup returns copies, so re-read after each AddKey.
+	if err := c.AddKey("student", 3, []int{1}); err != nil || len(c.Lookup("student").Keys) != 1 {
+		t.Errorf("repeated AddKey: err=%v keys=%v", err, c.Lookup("student").Keys)
 	}
 	// Second distinct key.
-	if err := c.AddKey("student", 3, []int{2, 3}); err != nil || len(p.Keys) != 2 {
-		t.Errorf("second key: err=%v keys=%v", err, p.Keys)
+	if err := c.AddKey("student", 3, []int{2, 3}); err != nil || len(c.Lookup("student").Keys) != 2 {
+		t.Errorf("second key: err=%v keys=%v", err, c.Lookup("student").Keys)
 	}
 	// Keys are stored sorted.
 	if err := c.AddKey("complete", 4, []int{3, 1, 2}); err != nil {

@@ -52,6 +52,36 @@ type Limits struct {
 	MaxProvenanceEntries int
 }
 
+// Clamp merges a requested Limits against a ceiling: the result never
+// exceeds any ceiling bound. For each field, a zero ceiling leaves the
+// request as-is (that resource is uncapped); a nonzero ceiling replaces
+// a zero (unlimited) or looser request with the ceiling itself. A
+// multi-tenant server uses this to let clients tighten — but never
+// loosen — the per-request quotas it enforces.
+func Clamp(req, ceiling Limits) Limits {
+	req.MaxWall = clampDur(req.MaxWall, ceiling.MaxWall)
+	req.MaxFacts = clampInt(req.MaxFacts, ceiling.MaxFacts)
+	req.MaxIterations = clampInt(req.MaxIterations, ceiling.MaxIterations)
+	req.MaxTableEntries = clampInt(req.MaxTableEntries, ceiling.MaxTableEntries)
+	req.MaxDescribeNodes = clampInt(req.MaxDescribeNodes, ceiling.MaxDescribeNodes)
+	req.MaxProvenanceEntries = clampInt(req.MaxProvenanceEntries, ceiling.MaxProvenanceEntries)
+	return req
+}
+
+func clampInt(req, ceiling int) int {
+	if ceiling > 0 && (req <= 0 || req > ceiling) {
+		return ceiling
+	}
+	return req
+}
+
+func clampDur(req, ceiling time.Duration) time.Duration {
+	if ceiling > 0 && (req <= 0 || req > ceiling) {
+		return ceiling
+	}
+	return req
+}
+
 // LimitKind identifies which limit a LimitError reports.
 type LimitKind string
 

@@ -8,6 +8,7 @@ package kb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -40,6 +41,12 @@ const (
 	EngineMagic     EngineKind = "magic"
 )
 
+// ErrClosed is returned (via errors.Is) by every query and mutation
+// entry point after Close: callers holding a stale handle get a
+// structured, recognizable error instead of a raw I/O failure from the
+// closed store underneath.
+var ErrClosed = errors.New("kb: knowledge base is closed")
+
 // KB is one knowledge-rich database. All methods are safe for concurrent
 // use; loads are serialized.
 type KB struct {
@@ -55,6 +62,13 @@ type KB struct {
 	opts        core.Options
 	intensional bool
 	provenance  bool
+	closed      bool // set by Close, guarded by mu
+
+	// gen counts schema mutations (program loads; asserts that declare a
+	// new predicate). Prepared-statement caches compare it to detect
+	// staleness; fact-only mutations do not invalidate a prepared
+	// program's analysis and leave it unchanged.
+	gen atomic.Uint64
 
 	// lastStats holds the evaluation statistics of the most recent
 	// retrieve (or constraint check), for observability.
@@ -129,11 +143,39 @@ func Open(dir string, opts ...Option) (*KB, error) {
 	return k, nil
 }
 
-// Close flushes durable state.
-func (k *KB) Close() error { return k.store.Close() }
+// Close flushes durable state and marks the knowledge base closed:
+// every later query or mutation returns ErrClosed. Taking the write
+// lock makes Close wait for in-flight queries (which hold the read
+// lock) to drain, so the store is never closed under a running
+// evaluation. A second Close is a no-op.
+func (k *KB) Close() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed {
+		return nil
+	}
+	k.closed = true
+	return k.store.Close()
+}
 
 // Checkpoint folds the write-ahead log into a snapshot (durable KBs).
-func (k *KB) Checkpoint() error { return k.store.Checkpoint() }
+// It holds the write lock: a checkpoint racing concurrent asserts could
+// otherwise truncate a WAL record whose fact had not reached the
+// snapshot, silently losing a durable write.
+func (k *KB) Checkpoint() error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed {
+		return ErrClosed
+	}
+	return k.store.Checkpoint()
+}
+
+// Generation returns a counter that increases on every schema mutation
+// (LoadProgram; an Assert that declares a new predicate). Prepared
+// statements validated at generation g remain valid while Generation
+// reports g.
+func (k *KB) Generation() uint64 { return k.gen.Load() }
 
 // SetEngine selects the retrieve engine (default: semi-naive).
 func (k *KB) SetEngine(e EngineKind) error {
@@ -183,6 +225,40 @@ func (k *KB) QueryLimits() governor.Limits {
 	k.mu.RLock()
 	defer k.mu.RUnlock()
 	return k.limits
+}
+
+// limitsKey carries per-request limits in a context.
+type limitsKey struct{}
+
+// ContextWithLimits attaches per-request query limits to the context.
+// They govern every evaluation under that context, clamped against the
+// KB's configured limits (governor.Clamp): a request may tighten but
+// never loosen the KB-level ceiling. The kdb server uses this to apply
+// per-tenant quotas to individual requests.
+func ContextWithLimits(ctx context.Context, l governor.Limits) context.Context {
+	return context.WithValue(ctx, limitsKey{}, l)
+}
+
+// LimitsFromContext returns the limits attached by ContextWithLimits.
+func LimitsFromContext(ctx context.Context) (governor.Limits, bool) {
+	l, ok := ctx.Value(limitsKey{}).(governor.Limits)
+	return l, ok
+}
+
+// effectiveLimitsLocked resolves the limits governing one query:
+// context-carried per-request limits clamped by the configured limits.
+// Callers hold k.mu in either mode.
+func (k *KB) effectiveLimitsLocked(ctx context.Context) governor.Limits {
+	if req, ok := LimitsFromContext(ctx); ok {
+		return governor.Clamp(req, k.limits)
+	}
+	return k.limits
+}
+
+func (k *KB) effectiveLimits(ctx context.Context) governor.Limits {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.effectiveLimitsLocked(ctx)
 }
 
 // LastStats returns the evaluation statistics of the most recent
@@ -246,6 +322,9 @@ func (k *KB) LoadString(src string) error {
 func (k *KB) LoadProgram(prog *parser.Program) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
+	if k.closed {
+		return ErrClosed
+	}
 
 	rep := analysis.Run(k.analysisProgramLocked(prog))
 	if rep.HasErrors() {
@@ -327,6 +406,7 @@ func (k *KB) LoadProgram(prog *parser.Program) error {
 	}
 	k.describer = nil // rebuild lazily
 	k.report = rep
+	k.gen.Add(1)
 	return nil
 }
 
@@ -420,14 +500,41 @@ func (k *KB) checkAtomArity(a term.Atom, class catalog.Class) error {
 func (k *KB) Assert(a term.Atom) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
+	if k.closed {
+		return ErrClosed
+	}
 	if k.cat.IsIDB(a.Pred) {
 		return fmt.Errorf("kb: %s is intensional; assert rules by loading a program", a.Pred)
 	}
+	declares := k.cat.Lookup(a.Pred) == nil
 	if err := k.checkAtomArity(a, catalog.ClassEDB); err != nil {
 		return err
 	}
-	_, err := k.store.InsertAtom(a)
-	return err
+	if _, err := k.store.InsertAtom(a); err != nil {
+		return err
+	}
+	if declares {
+		k.gen.Add(1)
+	}
+	return nil
+}
+
+// Retract removes one ground fact (EDB predicates only), reporting
+// whether it was present. On a durable KB the deletion is WAL-logged,
+// so it survives a crash before the next checkpoint.
+func (k *KB) Retract(a term.Atom) (bool, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed {
+		return false, ErrClosed
+	}
+	if k.cat.IsIDB(a.Pred) {
+		return false, fmt.Errorf("kb: %s is intensional; retract only removes stored facts", a.Pred)
+	}
+	if !a.IsGround() {
+		return false, fmt.Errorf("kb: retract %v: fact is not ground", a)
+	}
+	return k.store.DeleteAtom(a)
 }
 
 // Rules returns a copy of the IDB.
@@ -437,10 +544,17 @@ func (k *KB) Rules() []term.Rule {
 	return append([]term.Rule(nil), k.rules...)
 }
 
-// Catalog exposes the schema.
+// Catalog exposes the schema. The catalog is internally synchronized
+// and its accessors return copies, so reading it concurrently with
+// loads and asserts is safe. Mutate the schema only through KB methods
+// (LoadProgram, Assert) — direct catalog writes bypass the KB's
+// analysis and generation bookkeeping.
 func (k *KB) Catalog() *catalog.Catalog { return k.cat }
 
-// Store exposes the extensional database.
+// Store exposes the extensional database. The store is internally
+// synchronized, so concurrent reads are safe. Mutate facts only
+// through KB methods (Assert, Retract, LoadProgram), which keep the
+// catalog, the IDB, and the WAL in step.
 func (k *KB) Store() *storage.Store { return k.store }
 
 // FactCount returns the number of stored facts across all predicates.
@@ -468,8 +582,19 @@ func (k *KB) Constraints() []term.Formula {
 // (capped per constraint). An empty result means the data satisfies all
 // constraints.
 func (k *KB) CheckConstraints() ([]string, error) {
+	return k.CheckConstraintsContext(context.Background())
+}
+
+// CheckConstraintsContext is CheckConstraints under the context and the
+// effective query limits (configured limits, clamped per-request via
+// ContextWithLimits).
+func (k *KB) CheckConstraintsContext(ctx context.Context) ([]string, error) {
 	k.mu.RLock()
-	engine := k.newEngine()
+	if k.closed {
+		k.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	engine := k.newEngine(ctx)
 	constraints := make([]term.Formula, len(k.constraints))
 	copy(constraints, k.constraints)
 	k.mu.RUnlock()
@@ -477,7 +602,7 @@ func (k *KB) CheckConstraints() ([]string, error) {
 	for _, ic := range constraints {
 		vars := ic.Vars()
 		probe := term.NewAtom("__ic__", vars...)
-		res, err := engine.Retrieve(eval.Query{Subject: probe, Where: ic})
+		res, err := engine.RetrieveContext(ctx, eval.Query{Subject: probe, Where: ic})
 		if err != nil {
 			return nil, fmt.Errorf("kb: checking constraint :- %v: %w", ic, err)
 		}
@@ -513,12 +638,13 @@ func (k *KB) Validate() []string {
 }
 
 // newEngine builds the configured retrieve engine over the current
-// state; extra options (e.g. a provenance recorder) are appended.
-func (k *KB) newEngine(extra ...eval.EngineOption) eval.Engine {
+// state, governed by the context's effective limits; extra options
+// (e.g. a provenance recorder) are appended. Callers hold k.mu.
+func (k *KB) newEngine(ctx context.Context, extra ...eval.EngineOption) eval.Engine {
 	in := eval.Input{Store: k.store, Rules: k.rules}
 	opts := append([]eval.EngineOption{
 		eval.WithWorkers(k.parallelism),
-		eval.WithLimits(k.limits),
+		eval.WithLimits(k.effectiveLimitsLocked(ctx)),
 	}, extra...)
 	switch k.engine {
 	case EngineNaive:
@@ -549,7 +675,10 @@ func (k *KB) Retrieve(subject term.Atom, where term.Formula) (*eval.Result, erro
 func (k *KB) RetrieveContext(ctx context.Context, subject term.Atom, where term.Formula) (*eval.Result, error) {
 	k.mu.RLock()
 	defer k.mu.RUnlock()
-	engine := k.newEngine()
+	if k.closed {
+		return nil, ErrClosed
+	}
+	engine := k.newEngine(ctx)
 	res, err := engine.RetrieveContext(ctx, eval.Query{Subject: subject, Where: where})
 	k.recordStats(engine)
 	if err != nil {
@@ -573,7 +702,10 @@ func (k *KB) RetrieveOrContext(ctx context.Context, subject term.Atom, disjuncts
 	}
 	k.mu.RLock()
 	defer k.mu.RUnlock()
-	engine := k.newEngine()
+	if k.closed {
+		return nil, ErrClosed
+	}
+	engine := k.newEngine(ctx)
 	var merged *eval.Result
 	seen := make(map[string]bool)
 	for _, d := range disjuncts {
@@ -619,8 +751,12 @@ func (k *KB) Explain(subject term.Atom, where term.Formula) (*prov.Explanation, 
 // all four engines must justify a fact by some valid tree.
 func (k *KB) ExplainContext(ctx context.Context, subject term.Atom, where term.Formula) (*prov.Explanation, error) {
 	k.mu.RLock()
+	if k.closed {
+		k.mu.RUnlock()
+		return nil, ErrClosed
+	}
 	rec := prov.NewRecorder()
-	engine := k.newEngine(eval.WithProvenance(rec))
+	engine := k.newEngine(ctx, eval.WithProvenance(rec))
 	res, err := engine.RetrieveContext(ctx, eval.Query{Subject: subject, Where: where})
 	k.recordStats(engine)
 	if err != nil {
@@ -655,7 +791,7 @@ func (k *KB) DescribeOrContext(ctx context.Context, subject term.Atom, disjuncts
 	if err != nil {
 		return nil, err
 	}
-	ans, err := d.DescribeOrContext(ctx, subject, disjuncts, k.QueryLimits())
+	ans, err := d.DescribeOrContext(ctx, subject, disjuncts, k.effectiveLimits(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -774,12 +910,19 @@ func (k *KB) attachNotes(subject term.Atom, ans *core.Answers) {
 func (k *KB) getDescriber() (*core.Describer, error) {
 	k.mu.RLock()
 	d := k.describer
+	closed := k.closed
 	k.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
 	if d != nil {
 		return d, nil
 	}
 	k.mu.Lock()
 	defer k.mu.Unlock()
+	if k.closed {
+		return nil, ErrClosed
+	}
 	if k.describer != nil {
 		return k.describer, nil
 	}
@@ -820,7 +963,7 @@ func (k *KB) DescribeContext(ctx context.Context, subject term.Atom, where term.
 	if err != nil {
 		return nil, err
 	}
-	ans, err := d.DescribeContext(ctx, subject, where, k.QueryLimits())
+	ans, err := d.DescribeContext(ctx, subject, where, k.effectiveLimits(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -844,7 +987,7 @@ func (k *KB) DescribeNecessaryContext(ctx context.Context, subject term.Atom, wh
 	if err != nil {
 		return nil, err
 	}
-	ans, err := d.DescribeNecessaryContext(ctx, subject, where, k.QueryLimits())
+	ans, err := d.DescribeNecessaryContext(ctx, subject, where, k.effectiveLimits(ctx))
 	if err != nil {
 		return nil, err
 	}

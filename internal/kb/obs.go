@@ -59,12 +59,15 @@ type queryMark struct{}
 
 // beginQuery opens the per-query observability scope: a root "query"
 // span placed in the context for the engines to hang children on, and a
-// latency clock. The returned finish func ends the scope; call it
-// exactly once with the statement kind, the statement text, and the
-// query's error. When no tracer, metrics, or query log is configured —
-// or when the context is already inside an observed query — ctx comes
-// back untouched and finish is nil, keeping the disabled path free of
-// allocations.
+// latency clock. When the context already carries a span (the server's
+// "serve" phase), the query span is created as its child and the parent
+// owns trace retention; otherwise a fresh root is started on the KB's
+// tracer and finished there. The returned finish func ends the scope;
+// call it exactly once with the statement kind, the statement text, and
+// the query's error. When no tracer, metrics, or query log is
+// configured — or when the context is already inside an observed
+// query — ctx comes back untouched and finish is nil, keeping the
+// disabled path free of allocations.
 func (k *KB) beginQuery(ctx context.Context) (context.Context, func(kind, stmt string, err error)) {
 	tr := k.tracer.Load()
 	qm := k.qmetrics.Load()
@@ -73,10 +76,18 @@ func (k *KB) beginQuery(ctx context.Context) (context.Context, func(kind, stmt s
 		return ctx, nil
 	}
 	ctx = context.WithValue(ctx, queryMark{}, true)
-	root := tr.Start("query")
+	var root *obs.Span
+	owned := true
+	if parent := obs.SpanFromContext(ctx); parent != nil {
+		root = parent.Child("query")
+		owned = false
+	} else {
+		root = tr.Start("query")
+	}
 	ctx = obs.ContextWithSpan(ctx, root)
 	start := time.Now()
 	prev := k.lastStats.Load()
+	ci, _ := obs.ClientFromContext(ctx)
 	return ctx, func(kind, stmt string, err error) {
 		d := time.Since(start)
 		stop := governor.StopReason(err)
@@ -104,6 +115,8 @@ func (k *KB) beginQuery(ctx context.Context) (context.Context, func(kind, stmt s
 				DurUS:     d.Microseconds(),
 				Stop:      stop,
 				TraceID:   root.ID(),
+				Tenant:    ci.Tenant,
+				Client:    ci.Client,
 			}
 			if err != nil {
 				rec.Error = err.Error()
@@ -119,7 +132,11 @@ func (k *KB) beginQuery(ctx context.Context) (context.Context, func(kind, stmt s
 			}
 			ql.Observe(rec) // best-effort: a full disk must not fail the query
 		}
-		tr.Finish(root)
+		if owned {
+			tr.Finish(root)
+		} else {
+			root.End()
+		}
 	}
 }
 

@@ -1,0 +1,28 @@
+package obs
+
+import "context"
+
+// ClientInfo identifies the remote principal behind a query: the tenant
+// (named knowledge base) it addresses and an opaque client identifier
+// (remote address, API-key name, …). The kdb server attaches it to each
+// request context; the query log copies it onto every record so
+// per-tenant activity can be sliced out of a shared log.
+type ClientInfo struct {
+	Tenant string
+	Client string
+}
+
+type clientKey struct{}
+
+// ContextWithClient returns a context carrying ci.
+func ContextWithClient(ctx context.Context, ci ClientInfo) context.Context {
+	return context.WithValue(ctx, clientKey{}, ci)
+}
+
+// ClientFromContext returns the ClientInfo carried by ctx. The zero
+// value is returned when none is attached, so callers can use the
+// fields directly without checking ok.
+func ClientFromContext(ctx context.Context) (ClientInfo, bool) {
+	ci, ok := ctx.Value(clientKey{}).(ClientInfo)
+	return ci, ok
+}

@@ -9,11 +9,13 @@ import (
 	"sync"
 )
 
-// DebugHandler returns the kdb debug surface: /metrics (Prometheus
-// text), /debug/vars (expvar JSON, including the registry snapshot
-// published as "kdb_metrics"), and /debug/pprof/* (the runtime
-// profiler). It is served by `kdb --debug-addr`.
-func DebugHandler(reg *Registry) http.Handler {
+// DebugMux returns a mux with the kdb debug surface: /metrics
+// (Prometheus text), /debug/vars (expvar JSON, including the registry
+// snapshot published as "kdb_metrics"), and /debug/pprof/* (the runtime
+// profiler). It deliberately leaves "/" unregistered, so a server can
+// layer its own routes — including a root index — on the same mux
+// without a duplicate-pattern panic.
+func DebugMux(reg *Registry) *http.ServeMux {
 	PublishExpvar(reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -26,6 +28,13 @@ func DebugHandler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugHandler is DebugMux plus a root index page. It is served by
+// `kdb --debug-addr`.
+func DebugHandler(reg *Registry) http.Handler {
+	mux := DebugMux(reg)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)

@@ -20,6 +20,11 @@ type QueryLogRecord struct {
 	Error     string    `json:"error,omitempty"`
 	Stop      string    `json:"stop,omitempty"`
 	TraceID   uint64    `json:"trace_id,omitempty"`
+	// Tenant and Client identify the remote principal when the query
+	// arrived through the kdb server (ContextWithClient); both are empty
+	// for library and REPL queries.
+	Tenant string `json:"tenant,omitempty"`
+	Client string `json:"client,omitempty"`
 	// Per-query evaluation deltas; present only when the query ran a
 	// retrieve-style evaluation.
 	Engine      string `json:"engine,omitempty"`

@@ -111,6 +111,10 @@ type lexer struct {
 	off  int
 	line int
 	col  int
+	// placeholders permits $1..$n prepared-statement placeholders,
+	// lexed as variables named "$n". Only the query entry points set it:
+	// programs are stored knowledge and may not contain holes.
+	placeholders bool
 }
 
 func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
@@ -223,6 +227,23 @@ func (l *lexer) next() (Token, error) {
 		return Token{Kind: TokOp, Text: ">", Pos: pos}, nil
 	case '"':
 		return l.lexString(pos)
+	case '$':
+		if !l.placeholders {
+			return Token{}, errf(pos, "placeholders ($n) are only allowed in queries")
+		}
+		start := l.off
+		l.advance(1)
+		n := 0
+		for l.off < len(l.src) && l.src[l.off] >= '0' && l.src[l.off] <= '9' {
+			l.advance(1)
+			n++
+		}
+		if n == 0 {
+			return Token{}, errf(pos, "expected a number after '$' (placeholders are $1, $2, …)")
+		}
+		// "$n" can never collide with a source variable: user variables
+		// start with an upper-case letter or '_'.
+		return Token{Kind: TokVariable, Text: l.src[start:l.off], Pos: pos}, nil
 	}
 	if c >= '0' && c <= '9' || c == '-' && l.off+1 < len(l.src) && l.src[l.off+1] >= '0' && l.src[l.off+1] <= '9' {
 		return l.lexNumber(pos)

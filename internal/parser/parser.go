@@ -19,6 +19,14 @@ func newParser(src string) (*parser, error) {
 	return p, p.advance()
 }
 
+// newQueryParser is newParser with $n placeholders enabled (prepared
+// statements are queries; programs may not contain holes).
+func newQueryParser(src string) (*parser, error) {
+	p := &parser{lex: newLexer(src)}
+	p.lex.placeholders = true
+	return p, p.advance()
+}
+
 // rulePos converts a token position into a term.Pos carrying the source
 // file name.
 func (p *parser) rulePos(pos Pos) term.Pos {
@@ -137,7 +145,7 @@ func (p *parser) parseConstraint() (term.Formula, error) {
 // ParseQuery parses a single query statement (retrieve / describe /
 // compare), terminated by '.'.
 func ParseQuery(src string) (Query, error) {
-	p, err := newParser(src)
+	p, err := newQueryParser(src)
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +161,7 @@ func ParseQuery(src string) (Query, error) {
 
 // ParseQueries parses a sequence of query statements.
 func ParseQueries(src string) ([]Query, error) {
-	p, err := newParser(src)
+	p, err := newQueryParser(src)
 	if err != nil {
 		return nil, err
 	}

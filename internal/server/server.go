@@ -1,0 +1,776 @@
+// Package server exposes knowledge bases over HTTP+JSON: the data
+// plane of `kdb serve`. One serve process hosts many named tenants —
+// each a separate KB opened lazily under a shared root directory (or
+// in memory) — and runs their queries concurrently: reads never block
+// each other (the KB read-locks across an evaluation), writes
+// serialize per tenant, and every request's context reaches the query
+// governor, so a disconnecting client cancels its in-flight query.
+//
+// Routes (all request/response bodies are JSON):
+//
+//	POST /v1/kb/{name}/retrieve   data query (statement kind: retrieve)
+//	POST /v1/kb/{name}/describe   knowledge query (describe / compare)
+//	POST /v1/kb/{name}/explain    why-provenance query
+//	POST /v1/kb/{name}/assert     insert one ground fact
+//	POST /v1/kb/{name}/retract    remove one ground fact
+//	POST /v1/kb/{name}/load       load a program fragment
+//	POST /v1/kb/{name}/check      evaluate the integrity constraints
+//	GET  /v1/kbs                  list open knowledge bases
+//
+// plus the obs debug surface (/metrics, /debug/vars, /debug/pprof/*)
+// on the same mux.
+//
+// Query statements may contain $1..$n placeholders; the parsed and
+// validated template is cached per tenant (an LRU keyed by statement
+// text, invalidated by schema generation), so repeated parameterized
+// queries skip the parser. Per-request limits are clamped against the
+// server's ceiling — a client may tighten but never loosen its quota.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"kdb/internal/analysis"
+	"kdb/internal/governor"
+	"kdb/internal/kb"
+	"kdb/internal/obs"
+	"kdb/internal/parser"
+	"kdb/internal/term"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Root is the directory holding one store directory per tenant;
+	// empty serves independent in-memory KBs (useful for tests and
+	// ephemeral workloads).
+	Root string
+	// MaxOpenKBs bounds the simultaneously open tenants (default 8).
+	MaxOpenKBs int
+	// IdleTimeout closes tenants unused for this long (default 5m;
+	// negative disables idle eviction).
+	IdleTimeout time.Duration
+	// Ceiling is the per-request resource quota: request limits are
+	// clamped against it, so clients may tighten but never loosen it.
+	// The zero value leaves requests ungoverned unless they ask.
+	Ceiling governor.Limits
+	// Engine selects the retrieve engine for every tenant (default
+	// semi-naive).
+	Engine kb.EngineKind
+	// Parallelism is the bottom-up worker count per query (default 1).
+	Parallelism int
+	// PreparedCacheSize bounds the prepared-statement LRU (default 256).
+	PreparedCacheSize int
+	// Registry collects the server's and every tenant's metrics; nil
+	// creates a private registry.
+	Registry *obs.Registry
+	// Tracer, when set, records a "serve" span tree per request.
+	Tracer *obs.Tracer
+	// QueryLog, when set, receives one record per query, with the
+	// tenant and client fields filled in.
+	QueryLog *obs.QueryLog
+}
+
+// Server is the HTTP data plane over a set of tenant KBs.
+type Server struct {
+	cfg      Config
+	reg      *obs.Registry
+	tenants  *Manager
+	prepared *preparedCache
+	mux      *http.ServeMux
+
+	requests  func(route, code string) *obs.Counter
+	durations func(route string) *obs.Histogram
+}
+
+// New builds a Server. When cfg.Root is set it must be an existing
+// directory (tenant stores are created beneath it on demand).
+func New(cfg Config) (*Server, error) {
+	if cfg.Root != "" {
+		fi, err := os.Stat(cfg.Root)
+		if err != nil {
+			return nil, fmt.Errorf("server: root: %w", err)
+		}
+		if !fi.IsDir() {
+			return nil, fmt.Errorf("server: root %s is not a directory", cfg.Root)
+		}
+	}
+	if cfg.MaxOpenKBs <= 0 {
+		cfg.MaxOpenKBs = 8
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = 5 * time.Minute
+	}
+	if cfg.Engine == "" {
+		cfg.Engine = kb.EngineSemiNaive
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s := &Server{cfg: cfg, reg: reg}
+	s.prepared = newPreparedCache(cfg.PreparedCacheSize, reg)
+	idle := cfg.IdleTimeout
+	if idle < 0 {
+		idle = 0
+	}
+	s.tenants = newManager(cfg.Root, cfg.MaxOpenKBs, idle, s.openKB)
+
+	reg.SetHelp("kdb_server_requests_total", "Served requests by route and status code.")
+	reg.SetHelp("kdb_server_request_seconds", "Request latency by route.")
+	reg.SetHelp("kdb_server_open_kbs", "Currently open tenant knowledge bases.")
+	reg.SetHelp("kdb_server_evictions_total", "Tenant knowledge bases closed by eviction (LRU or idle).")
+	s.requests = func(route, code string) *obs.Counter {
+		return reg.Counter("kdb_server_requests_total", "route", route, "code", code)
+	}
+	s.durations = func(route string) *obs.Histogram {
+		return reg.Histogram("kdb_server_request_seconds", nil, "route", route)
+	}
+	openKBs := reg.Gauge("kdb_server_open_kbs")
+	evictions := reg.Counter("kdb_server_evictions_total")
+	s.tenants.onEvict = evictions.Inc
+	s.tenants.onOpenCount = func(n int) { openKBs.Set(float64(n)) }
+
+	mux := obs.DebugMux(reg)
+	mux.HandleFunc("GET /v1/kbs", s.handleList)
+	mux.HandleFunc("POST /v1/kb/{name}/retrieve", s.handleQuery("retrieve"))
+	mux.HandleFunc("POST /v1/kb/{name}/describe", s.handleQuery("describe"))
+	mux.HandleFunc("POST /v1/kb/{name}/explain", s.handleQuery("explain"))
+	mux.HandleFunc("POST /v1/kb/{name}/assert", s.handleMutate(false))
+	mux.HandleFunc("POST /v1/kb/{name}/retract", s.handleMutate(true))
+	mux.HandleFunc("POST /v1/kb/{name}/load", s.handleLoad)
+	mux.HandleFunc("POST /v1/kb/{name}/check", s.handleCheck)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	s.mux = mux
+	return s, nil
+}
+
+// openKB builds the KB for one tenant: durable under Root, in-memory
+// otherwise, with the server's ceiling, engine, and observability.
+func (s *Server) openKB(name string) (*kb.KB, error) {
+	opts := []kb.Option{
+		kb.WithQueryLimits(s.cfg.Ceiling),
+		kb.WithParallelism(s.cfg.Parallelism),
+		kb.WithMetrics(s.reg),
+	}
+	if s.cfg.Tracer != nil {
+		opts = append(opts, kb.WithTracer(s.cfg.Tracer))
+	}
+	if s.cfg.QueryLog != nil {
+		opts = append(opts, kb.WithQueryLog(s.cfg.QueryLog))
+	}
+	var k *kb.KB
+	if s.cfg.Root == "" {
+		k = kb.New(opts...)
+	} else {
+		dir := s.tenants.Dir(name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		var err error
+		k, err = kb.Open(dir, opts...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := k.SetEngine(s.cfg.Engine); err != nil {
+		k.Close()
+		return nil, err
+	}
+	return k, nil
+}
+
+// Handler returns the server's HTTP handler: the API routes plus the
+// debug surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close shuts the server's tenants down: the janitor stops and every
+// open KB is closed (waiting for in-flight queries to drain).
+func (s *Server) Close() error { return s.tenants.Close() }
+
+// maxBodyBytes bounds a request body; a program load is the largest
+// legitimate payload.
+const maxBodyBytes = 8 << 20
+
+// queryRequest is the body of the retrieve/describe/explain routes.
+type queryRequest struct {
+	// Stmt is the statement text, possibly with $1..$n placeholders.
+	Stmt string `json:"stmt"`
+	// Args bind the placeholders, in order: numbers become numeric
+	// constants; strings become symbols when they look like identifiers
+	// and string constants otherwise; {"sym": s}, {"str": s}, and
+	// {"num": x} force an interpretation.
+	Args []json.RawMessage `json:"args,omitempty"`
+	// Limits tighten the server's quota for this request only.
+	Limits *limitsJSON `json:"limits,omitempty"`
+	// Client identifies the caller in the query log (the X-KDB-Client
+	// header wins when both are set).
+	Client string `json:"client,omitempty"`
+}
+
+// limitsJSON is the wire form of per-request query limits.
+type limitsJSON struct {
+	MaxWallMS        int `json:"max_wall_ms,omitempty"`
+	MaxFacts         int `json:"max_facts,omitempty"`
+	MaxIterations    int `json:"max_iterations,omitempty"`
+	MaxTableEntries  int `json:"max_table_entries,omitempty"`
+	MaxDescribeNodes int `json:"max_describe_nodes,omitempty"`
+	MaxProvenance    int `json:"max_provenance_entries,omitempty"`
+}
+
+func (l *limitsJSON) toLimits() governor.Limits {
+	return governor.Limits{
+		MaxWall:              time.Duration(l.MaxWallMS) * time.Millisecond,
+		MaxFacts:             l.MaxFacts,
+		MaxIterations:        l.MaxIterations,
+		MaxTableEntries:      l.MaxTableEntries,
+		MaxDescribeNodes:     l.MaxDescribeNodes,
+		MaxProvenanceEntries: l.MaxProvenance,
+	}
+}
+
+// queryResponse is the body of a successful query route.
+type queryResponse struct {
+	// Kind is the statement kind actually executed (retrieve, describe,
+	// describe-not, possible, compare, explain, …).
+	Kind string `json:"kind"`
+	// Prepared reports a prepared-statement cache hit.
+	Prepared bool `json:"prepared"`
+	// Answers renders one answer per line: instantiated subject atoms
+	// for a retrieve, derived rules for a describe.
+	Answers []string `json:"answers"`
+	// Rendered is the full terminal rendering of the result.
+	Rendered string `json:"rendered"`
+	// Explanation carries the derivation trees of an explain.
+	Explanation json.RawMessage `json:"explanation,omitempty"`
+}
+
+// handleQuery serves one query route. The route fixes the statement
+// family; a mismatching statement (e.g. a describe POSTed to
+// /retrieve) is a 400, so clients cannot smuggle an expensive
+// statement past a route-level policy.
+func (s *Server) handleQuery(route string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		code := s.serveQuery(w, r, route)
+		s.requests(route, strconv.Itoa(code)).Inc()
+		s.durations(route).ObserveDuration(time.Since(start))
+	}
+}
+
+// serveQuery runs one query request end to end and returns the HTTP
+// status it produced.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, route string) int {
+	name := r.PathValue("name")
+	k, release, err := s.tenants.Acquire(name)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	defer release()
+
+	var req queryRequest
+	if err := decodeBody(r, &req); err != nil {
+		return s.writeError(w, err)
+	}
+	p, hit, err := s.prepared.Get(name, req.Stmt, k)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	if err := checkRoute(route, p.query); err != nil {
+		return s.writeError(w, err)
+	}
+	args, err := decodeArgs(req.Args)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	bound, err := parser.BindPlaceholders(p.query, args)
+	if err != nil {
+		return s.writeError(w, &badRequestError{err})
+	}
+
+	// The request context is the cancellation root: a client disconnect
+	// cancels the evaluation through the query governor.
+	ctx := r.Context()
+	ctx = obs.ContextWithClient(ctx, obs.ClientInfo{Tenant: name, Client: clientID(r, req.Client)})
+	if req.Limits != nil {
+		ctx = kb.ContextWithLimits(ctx, req.Limits.toLimits())
+	}
+	root := s.cfg.Tracer.Start("serve")
+	root.SetStr("route", route)
+	root.SetStr("tenant", name)
+	ctx = obs.ContextWithSpan(ctx, root)
+
+	res, err := k.ExecContext(ctx, bound)
+	s.cfg.Tracer.Finish(root)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	resp := &queryResponse{
+		Kind:     queryKind(bound),
+		Prepared: hit,
+		Answers:  answerLines(res),
+		Rendered: res.String(),
+	}
+	if res.Explanation != nil {
+		if b, err := json.Marshal(res.Explanation); err == nil {
+			resp.Explanation = b
+		}
+	}
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// clientID resolves the caller identity for the query log.
+func clientID(r *http.Request, bodyClient string) string {
+	if h := r.Header.Get("X-KDB-Client"); h != "" {
+		return h
+	}
+	return bodyClient
+}
+
+// checkRoute verifies the statement family matches the route.
+func checkRoute(route string, q parser.Query) error {
+	var ok bool
+	switch route {
+	case "retrieve":
+		_, ok = q.(*parser.Retrieve)
+	case "describe":
+		switch q.(type) {
+		case *parser.Describe, *parser.Compare:
+			ok = true
+		}
+	case "explain":
+		_, ok = q.(*parser.Explain)
+	}
+	if !ok {
+		return &badRequestError{fmt.Errorf("statement kind %s does not match route /%s", queryKind(q), route)}
+	}
+	return nil
+}
+
+// queryKind names a parsed statement for responses and span labels.
+func queryKind(q parser.Query) string {
+	switch s := q.(type) {
+	case *parser.Retrieve:
+		return "retrieve"
+	case *parser.Describe:
+		switch {
+		case s.Wildcard:
+			return "describe-wildcard"
+		case s.Subjectless:
+			return "possible"
+		case len(s.Not) > 0:
+			return "describe-not"
+		default:
+			return "describe"
+		}
+	case *parser.Compare:
+		return "compare"
+	case *parser.Explain:
+		return "explain"
+	default:
+		return "unknown"
+	}
+}
+
+// answerLines extracts one line per answer from an ExecResult, sorted
+// for a stable wire shape.
+func answerLines(res *kb.ExecResult) []string {
+	var out []string
+	switch {
+	case res.Retrieve != nil:
+		if q, ok := res.Query.(*parser.Retrieve); ok {
+			for _, a := range res.Retrieve.Atoms(q.Subject) {
+				out = append(out, a.String())
+			}
+		}
+	case res.Describe != nil:
+		for _, f := range res.Describe.Formulas {
+			out = append(out, f.String())
+		}
+	case res.Explanation != nil:
+		for _, tr := range res.Explanation.Trees {
+			out = append(out, tr.Fact.String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mutateRequest is the body of assert/retract.
+type mutateRequest struct {
+	// Fact is one ground atom in surface syntax, e.g. "takes(ann, db)".
+	Fact string `json:"fact"`
+}
+
+// mutateResponse is the body of a successful assert/retract.
+type mutateResponse struct {
+	// Removed reports whether a retract actually removed a fact.
+	Removed bool `json:"removed,omitempty"`
+	OK      bool `json:"ok"`
+}
+
+// handleMutate serves assert (retract=false) and retract (retract=true).
+func (s *Server) handleMutate(retract bool) http.HandlerFunc {
+	route := "assert"
+	if retract {
+		route = "retract"
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		code := func() int {
+			k, release, err := s.tenants.Acquire(r.PathValue("name"))
+			if err != nil {
+				return s.writeError(w, err)
+			}
+			defer release()
+			var req mutateRequest
+			if err := decodeBody(r, &req); err != nil {
+				return s.writeError(w, err)
+			}
+			a, err := parser.ParseAtom(req.Fact)
+			if err != nil {
+				return s.writeError(w, err)
+			}
+			if retract {
+				removed, err := k.Retract(a)
+				if err != nil {
+					return s.writeError(w, mutateError(err))
+				}
+				return writeJSON(w, http.StatusOK, &mutateResponse{Removed: removed, OK: true})
+			}
+			if !a.IsGround() {
+				return s.writeError(w, &badRequestError{fmt.Errorf("assert %v: fact is not ground", a)})
+			}
+			if err := k.Assert(a); err != nil {
+				return s.writeError(w, mutateError(err))
+			}
+			return writeJSON(w, http.StatusOK, &mutateResponse{OK: true})
+		}()
+		s.requests(route, strconv.Itoa(code)).Inc()
+		s.durations(route).ObserveDuration(time.Since(start))
+	}
+}
+
+// mutateError classifies a failed assert/retract: a closed KB stays a
+// 503, everything else (arity mismatch, intensional predicate,
+// non-ground fact) is the client's fault.
+func mutateError(err error) error {
+	if errors.Is(err, kb.ErrClosed) {
+		return err
+	}
+	return &badRequestError{err}
+}
+
+// loadRequest is the body of /load.
+type loadRequest struct {
+	// Program is knowledge-base source text: facts, rules, declarations,
+	// constraints.
+	Program string `json:"program"`
+}
+
+// loadResponse is the body of a successful /load.
+type loadResponse struct {
+	OK    bool `json:"ok"`
+	Facts int  `json:"facts"`
+	Rules int  `json:"rules"`
+}
+
+// handleLoad loads a program fragment into the tenant.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := func() int {
+		k, release, err := s.tenants.Acquire(r.PathValue("name"))
+		if err != nil {
+			return s.writeError(w, err)
+		}
+		defer release()
+		var req loadRequest
+		if err := decodeBody(r, &req); err != nil {
+			return s.writeError(w, err)
+		}
+		if err := k.LoadString(req.Program); err != nil {
+			return s.writeError(w, err)
+		}
+		return writeJSON(w, http.StatusOK, &loadResponse{OK: true, Facts: k.FactCount(), Rules: len(k.Rules())})
+	}()
+	s.requests("load", strconv.Itoa(code)).Inc()
+	s.durations("load").ObserveDuration(time.Since(start))
+}
+
+// checkResponse is the body of /check.
+type checkResponse struct {
+	OK         bool     `json:"ok"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// handleCheck evaluates the tenant's integrity constraints.
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := func() int {
+		name := r.PathValue("name")
+		k, release, err := s.tenants.Acquire(name)
+		if err != nil {
+			return s.writeError(w, err)
+		}
+		defer release()
+		ctx := obs.ContextWithClient(r.Context(), obs.ClientInfo{Tenant: name, Client: clientID(r, "")})
+		violations, err := k.CheckConstraintsContext(ctx)
+		if err != nil {
+			return s.writeError(w, err)
+		}
+		return writeJSON(w, http.StatusOK, &checkResponse{OK: len(violations) == 0, Violations: violations})
+	}()
+	s.requests("check", strconv.Itoa(code)).Inc()
+	s.durations("check").ObserveDuration(time.Since(start))
+}
+
+// kbInfo is one entry of the /v1/kbs listing.
+type kbInfo struct {
+	Name string `json:"name"`
+	Open bool   `json:"open"`
+}
+
+// handleList lists knowledge bases: every open tenant, plus (with a
+// durable root) every tenant directory on disk.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	seen := make(map[string]bool)
+	var out []kbInfo
+	for _, name := range s.tenants.Open() {
+		seen[name] = true
+		out = append(out, kbInfo{Name: name, Open: true})
+	}
+	if s.cfg.Root != "" {
+		if entries, err := os.ReadDir(s.cfg.Root); err == nil {
+			for _, e := range entries {
+				if e.IsDir() && validName(e.Name()) && !seen[e.Name()] {
+					out = append(out, kbInfo{Name: e.Name()})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{"kbs": out})
+}
+
+// handleHealthz is the liveness probe: 200 while the server accepts
+// work, 503 once the tenant manager has shut down.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.tenants.Closed() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ok": false})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleIndex names the API surface at the root.
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprint(w, `kdb serve:
+  GET  /v1/kbs
+  POST /v1/kb/{name}/retrieve   {"stmt": "retrieve p($1).", "args": ["a"]}
+  POST /v1/kb/{name}/describe
+  POST /v1/kb/{name}/explain
+  POST /v1/kb/{name}/assert     {"fact": "p(a)"}
+  POST /v1/kb/{name}/retract    {"fact": "p(a)"}
+  POST /v1/kb/{name}/load       {"program": "p(a). q(X) :- p(X)."}
+  POST /v1/kb/{name}/check
+  GET  /healthz
+  /metrics  /debug/vars  /debug/pprof/
+`)
+}
+
+// decodeBody reads one JSON body into dst, rejecting trailing data.
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return &badRequestError{fmt.Errorf("request body: %w", err)}
+	}
+	return nil
+}
+
+// decodeArgs converts JSON argument values into terms.
+func decodeArgs(raw []json.RawMessage) ([]term.Term, error) {
+	out := make([]term.Term, len(raw))
+	for i, m := range raw {
+		t, err := decodeArg(m)
+		if err != nil {
+			return nil, &badRequestError{fmt.Errorf("args[%d]: %w", i, err)}
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// decodeArg maps one JSON value to a term: numbers become numeric
+// constants; strings become symbols when identifier-shaped and string
+// constants otherwise; {"sym"|"str"|"num": v} forces a kind.
+func decodeArg(m json.RawMessage) (term.Term, error) {
+	var v any
+	if err := json.Unmarshal(m, &v); err != nil {
+		return term.Term{}, err
+	}
+	switch x := v.(type) {
+	case float64:
+		return term.Num(x), nil
+	case string:
+		if isSymbolName(x) {
+			return term.Sym(x), nil
+		}
+		return term.Str(x), nil
+	case map[string]any:
+		if len(x) != 1 {
+			return term.Term{}, fmt.Errorf("want exactly one of sym/str/num, got %d keys", len(x))
+		}
+		for k, val := range x {
+			switch k {
+			case "sym":
+				s, ok := val.(string)
+				if !ok || !isSymbolName(s) {
+					return term.Term{}, fmt.Errorf("sym wants an identifier-shaped string")
+				}
+				return term.Sym(s), nil
+			case "str":
+				s, ok := val.(string)
+				if !ok {
+					return term.Term{}, fmt.Errorf("str wants a string")
+				}
+				return term.Str(s), nil
+			case "num":
+				n, ok := val.(float64)
+				if !ok {
+					return term.Term{}, fmt.Errorf("num wants a number")
+				}
+				return term.Num(n), nil
+			}
+		}
+		return term.Term{}, fmt.Errorf("unknown argument form (want sym/str/num)")
+	default:
+		return term.Term{}, fmt.Errorf("unsupported argument type %T (want number, string, or {sym|str|num: v})", v)
+	}
+}
+
+// isSymbolName reports whether s is a lower-case identifier that the
+// parser would read back as a symbolic constant.
+func isSymbolName(s string) bool {
+	if s == "" || parser.IsReserved(s) {
+		return false
+	}
+	c := s[0]
+	if c < 'a' || c > 'z' {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// badRequestError marks a client error mapped to 400.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+// errorBody is the structured error envelope every failing route
+// returns.
+type errorBody struct {
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	// Code classifies the failure: bad-request, parse, analysis, limit,
+	// canceled, deadline, closed, overloaded, not-found, panic, internal.
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Limit details a breached resource quota (code "limit").
+	Limit *limitDetail `json:"limit,omitempty"`
+	// Diagnostics carry the analyzer findings of a rejected load
+	// (code "analysis").
+	Diagnostics []string `json:"diagnostics,omitempty"`
+}
+
+type limitDetail struct {
+	Kind string `json:"kind"`
+	Max  int64  `json:"max"`
+}
+
+// statusClientClosedRequest is nginx's conventional status for a
+// client that disconnected before the response; there is no standard
+// code for it.
+const statusClientClosedRequest = 499
+
+// writeError maps an error to its HTTP status and structured body,
+// returning the status.
+func (s *Server) writeError(w http.ResponseWriter, err error) int {
+	status := http.StatusInternalServerError
+	detail := errorDetail{Code: "internal", Message: err.Error()}
+
+	var le *governor.LimitError
+	var pe *governor.PanicError
+	var ae *analysis.Error
+	var pse *parser.Error
+	var bad *badRequestError
+	var badName *errBadName
+	switch {
+	case errors.As(err, &le):
+		status = http.StatusTooManyRequests
+		detail.Code = "limit"
+		detail.Limit = &limitDetail{Kind: string(le.Kind), Max: le.Limit}
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+		detail.Code = "deadline"
+	case errors.Is(err, governor.ErrCanceled), errors.Is(err, context.Canceled):
+		status = statusClientClosedRequest
+		detail.Code = "canceled"
+	case errors.As(err, &ae):
+		status = http.StatusUnprocessableEntity
+		detail.Code = "analysis"
+		for _, d := range ae.Diags {
+			detail.Diagnostics = append(detail.Diagnostics, d.String())
+		}
+	case errors.As(err, &pse):
+		status = http.StatusBadRequest
+		detail.Code = "parse"
+	case errors.As(err, &bad):
+		status = http.StatusBadRequest
+		detail.Code = "bad-request"
+	case errors.As(err, &badName):
+		status = http.StatusNotFound
+		detail.Code = "not-found"
+	case errors.Is(err, kb.ErrClosed), errors.Is(err, errManagerClosed):
+		status = http.StatusServiceUnavailable
+		detail.Code = "closed"
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusServiceUnavailable
+		detail.Code = "overloaded"
+	case errors.As(err, &pe):
+		status = http.StatusInternalServerError
+		detail.Code = "panic"
+		// The stack stays server-side; the message alone identifies the
+		// failure to the client.
+		detail.Message = pe.Error()
+	}
+	return writeJSON(w, status, &errorBody{Error: detail})
+}
+
+// writeJSON writes one JSON response, returning the status for the
+// request metrics.
+func writeJSON(w http.ResponseWriter, status int, body any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+	return status
+}

@@ -70,7 +70,7 @@ func TestWALTornTailRecovery(t *testing.T) {
 func TestWALAppendFailureRewind(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, walName)
-	w, err := openWAL(path, func(string, Tuple) error { return nil })
+	w, err := openWAL(path, func(string, Tuple, bool) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestWALAppendFailureRewind(t *testing.T) {
 
 	var got []string
 	_, err = func() (*wal, error) {
-		return openWAL(path, func(pred string, tp Tuple) error {
+		return openWAL(path, func(pred string, tp Tuple, _ bool) error {
 			got = append(got, tp[0].Name())
 			return nil
 		})
@@ -113,7 +113,7 @@ func TestWALAppendFailureRewind(t *testing.T) {
 // all further appends rather than risk silent corruption.
 func TestWALPoisonIsSticky(t *testing.T) {
 	dir := t.TempDir()
-	w, err := openWAL(filepath.Join(dir, walName), func(string, Tuple) error { return nil })
+	w, err := openWAL(filepath.Join(dir, walName), func(string, Tuple, bool) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestCheckpointClearsPoison(t *testing.T) {
 func TestWALDurableOffsetTracksAppends(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, walName)
-	w, err := openWAL(path, func(string, Tuple) error { return nil })
+	w, err := openWAL(path, func(string, Tuple, bool) error { return nil })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -126,6 +126,35 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 	return true, nil
 }
 
+// Delete removes a tuple, reporting whether it was present. The removal
+// rebuilds the tuple slice copy-on-write: a concurrent Scan keeps the
+// slice header it snapshotted, so racing readers observe a consistent
+// (pre-delete) extension rather than a partially shifted one. Indexes
+// are dropped and rebuilt lazily on the next indexed Select.
+func (r *Relation) Delete(t Tuple) (bool, error) {
+	if len(t) != r.arity {
+		return false, fmt.Errorf("storage: tuple arity %d, want %d", len(t), r.arity)
+	}
+	key := t.Key()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idx, ok := r.present[key]
+	if !ok {
+		return false, nil
+	}
+	next := make([]Tuple, 0, len(r.tuples)-1)
+	next = append(next, r.tuples[:idx]...)
+	next = append(next, r.tuples[idx+1:]...)
+	r.tuples = next
+	present := make(map[string]int, len(next))
+	for i, u := range next {
+		present[u.Key()] = i
+	}
+	r.present = present
+	r.indexes = make(map[uint64]map[string][]int)
+	return true, nil
+}
+
 // Contains reports whether the exact tuple is stored.
 func (r *Relation) Contains(t Tuple) bool {
 	r.mu.RLock()

@@ -42,7 +42,11 @@ func Open(dir string) (*Store, error) {
 	if err := s.loadSnapshot(filepath.Join(dir, snapshotName)); err != nil {
 		return nil, err
 	}
-	w, err := openWAL(filepath.Join(dir, walName), func(pred string, t Tuple) error {
+	w, err := openWAL(filepath.Join(dir, walName), func(pred string, t Tuple, tombstone bool) error {
+		if tombstone {
+			_, err := s.deleteLocked(pred, t)
+			return err
+		}
 		_, err := s.insertLocked(pred, t)
 		return err
 	})
@@ -101,6 +105,11 @@ func (s *Store) Insert(pred string, t Tuple) (bool, error) {
 }
 
 func (s *Store) insertLocked(pred string, t Tuple) (bool, error) {
+	if pred == "" {
+		// The WAL tombstone encoding relies on insert payloads never
+		// starting with a 0x00 byte, i.e. on nonempty predicate names.
+		return false, fmt.Errorf("storage: empty predicate name")
+	}
 	s.mu.Lock()
 	r, ok := s.rels[pred]
 	if !ok {
@@ -114,6 +123,41 @@ func (s *Store) insertLocked(pred string, t Tuple) (bool, error) {
 	}
 	s.mu.Unlock()
 	return r.Insert(t)
+}
+
+// Delete removes a stored fact, reporting whether it was present. On a
+// durable store the deletion is logged as a WAL tombstone, so it
+// survives a crash before the next checkpoint.
+func (s *Store) Delete(pred string, t Tuple) (bool, error) {
+	removed, err := s.deleteLocked(pred, t)
+	if err != nil || !removed {
+		return removed, err
+	}
+	if s.wal != nil {
+		if err := s.wal.appendDelete(pred, t); err != nil {
+			return true, fmt.Errorf("storage: fact removed but WAL append failed: %w", err)
+		}
+	}
+	return true, nil
+}
+
+func (s *Store) deleteLocked(pred string, t Tuple) (bool, error) {
+	s.mu.RLock()
+	r := s.rels[pred]
+	s.mu.RUnlock()
+	if r == nil || r.Arity() != len(t) {
+		return false, nil
+	}
+	return r.Delete(t)
+}
+
+// DeleteAtom removes a ground atom's fact, reporting whether it was
+// present.
+func (s *Store) DeleteAtom(a term.Atom) (bool, error) {
+	if !a.IsGround() {
+		return false, fmt.Errorf("storage: fact %v is not ground", a)
+	}
+	return s.Delete(a.Pred, Tuple(a.Args))
 }
 
 // InsertAtom stores a ground atom as a fact.

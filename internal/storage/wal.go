@@ -25,14 +25,21 @@ import (
 // Write-ahead log (kdb.wal):
 //
 //	magic "KDBWAL01"
-//	repeat: uvarint record length, record bytes (encodeFact), crc32(record)
+//	repeat: uvarint record length, record bytes, crc32(record)
 //	A torn or corrupt tail is detected by length/CRC and truncated.
+//
+// A WAL record is either an insert (encodeFact bytes verbatim) or a
+// tombstone: a 0x00 byte followed by encodeFact bytes. Insert payloads
+// begin with uvarint(len(pred)) and predicate names are nonempty, so
+// the first byte of an insert record is never 0x00 — logs written
+// before tombstones existed replay unchanged.
 
 const (
 	snapshotName  = "kdb.snap"
 	walName       = "kdb.wal"
 	snapshotMagic = "KDBSNAP1"
 	walMagic      = "KDBWAL01"
+	tombstoneTag  = 0x00
 	maxRecordSize = 1 << 24 // 16 MiB sanity bound on a single fact record
 )
 
@@ -103,10 +110,11 @@ type wal struct {
 }
 
 // openWAL opens (or creates) the log at path, replaying every valid
-// record through apply. A torn tail is truncated so the next append
-// starts from a clean boundary. A freshly created log's directory entry
-// is fsynced so the file itself survives a crash.
-func openWAL(path string, apply func(pred string, t Tuple) error) (*wal, error) {
+// record through apply (tombstone reports whether the record is a
+// deletion). A torn tail is truncated so the next append starts from a
+// clean boundary. A freshly created log's directory entry is fsynced so
+// the file itself survives a crash.
+func openWAL(path string, apply func(pred string, t Tuple, tombstone bool) error) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal: %w", err)
@@ -163,7 +171,7 @@ func syncDir(dir string) error {
 
 // replayWAL applies all valid records and returns the offset of the last
 // valid byte (magic included).
-func replayWAL(f *os.File, apply func(string, Tuple) error) (int64, error) {
+func replayWAL(f *os.File, apply func(string, Tuple, bool) error) (int64, error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, err
 	}
@@ -191,11 +199,16 @@ func replayWAL(f *os.File, apply func(string, Tuple) error) (int64, error) {
 		if err != nil {
 			return 0, err
 		}
-		pred, tuple, err := decodeFact(payload)
+		body := payload
+		tombstone := len(payload) > 0 && payload[0] == tombstoneTag
+		if tombstone {
+			body = payload[1:]
+		}
+		pred, tuple, err := decodeFact(body)
 		if err != nil {
 			return valid, nil // treat undecodable content as torn
 		}
-		if err := apply(pred, tuple); err != nil {
+		if err := apply(pred, tuple, tombstone); err != nil {
 			return 0, err
 		}
 		valid += int64(uvarintLen(uint64(len(payload)))) + int64(len(payload)) + 4
@@ -213,15 +226,32 @@ func uvarintLen(v uint64) int {
 // appended after it; if even the rewind fails, the log is poisoned and
 // every later append reports the sticky error.
 func (w *wal) append(pred string, t Tuple) error {
+	payload, err := encodeFact(pred, t)
+	if err != nil {
+		return err // nothing was buffered; the log is still clean
+	}
+	return w.appendPayload(payload)
+}
+
+// appendDelete logs a tombstone for one fact (see the format note at the
+// top of this file).
+func (w *wal) appendDelete(pred string, t Tuple) error {
+	fact, err := encodeFact(pred, t)
+	if err != nil {
+		return err
+	}
+	payload := make([]byte, 0, len(fact)+1)
+	payload = append(payload, tombstoneTag)
+	payload = append(payload, fact...)
+	return w.appendPayload(payload)
+}
+
+func (w *wal) appendPayload(payload []byte) error {
 	start := time.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.failed != nil {
 		return fmt.Errorf("storage: wal poisoned by earlier failure: %w", w.failed)
-	}
-	payload, err := encodeFact(pred, t)
-	if err != nil {
-		return err // nothing was buffered; the log is still clean
 	}
 	if err := writeRecord(w.w, payload); err != nil {
 		w.recoverLocked(err)

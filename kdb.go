@@ -34,6 +34,7 @@
 package kdb
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"time"
@@ -47,6 +48,7 @@ import (
 	"kdb/internal/obs"
 	"kdb/internal/parser"
 	"kdb/internal/prov"
+	"kdb/internal/server"
 	"kdb/internal/term"
 )
 
@@ -125,6 +127,32 @@ func Analyze(prog *Program) *Report { return analysis.Run(analysis.FromProgram(p
 // canceled or expired query context. The concrete error also wraps the
 // context cause, so errors.Is(err, context.DeadlineExceeded) works.
 var ErrCanceled = governor.ErrCanceled
+
+// ErrClosed matches (via errors.Is) every error a KB returns once it
+// has been closed: callers holding a stale handle get a structured
+// error instead of a raw I/O failure from the store underneath.
+var ErrClosed = kb.ErrClosed
+
+// ContextWithQueryLimits attaches per-request query limits to a
+// context: they govern every evaluation under it, clamped against the
+// KB's configured limits (a request may tighten but never loosen the
+// ceiling — see ClampQueryLimits).
+func ContextWithQueryLimits(ctx context.Context, l QueryLimits) context.Context {
+	return kb.ContextWithLimits(ctx, l)
+}
+
+// QueryLimitsFromContext returns the limits attached by
+// ContextWithQueryLimits.
+func QueryLimitsFromContext(ctx context.Context) (QueryLimits, bool) {
+	return kb.LimitsFromContext(ctx)
+}
+
+// ClampQueryLimits merges requested limits against a ceiling: for each
+// field the result never exceeds a nonzero ceiling bound, and a zero
+// (unlimited) request is replaced by the ceiling.
+func ClampQueryLimits(req, ceiling QueryLimits) QueryLimits {
+	return governor.Clamp(req, ceiling)
+}
 
 // Limit kinds reported by LimitError.
 const (
@@ -318,6 +346,35 @@ func WriteExplainChromeTrace(w io.Writer, e *Explanation) error {
 
 // MetricsJSON renders the registry's current state as indented JSON.
 func MetricsJSON(reg *MetricsRegistry) ([]byte, error) { return obs.MetricsJSON(reg) }
+
+// Server types: the HTTP+JSON data plane of `kdb serve` — named
+// multi-tenant knowledge bases, prepared parameterized statements, and
+// per-tenant quotas over the library's concurrency guarantees.
+type (
+	// Server hosts many named tenant KBs over HTTP+JSON.
+	Server = server.Server
+	// ServerConfig assembles a Server (root directory, open-KB bound,
+	// idle eviction, quota ceiling, observability hooks).
+	ServerConfig = server.Config
+	// ClientInfo identifies a request's tenant and client in query-log
+	// records (see ContextWithClientInfo).
+	ClientInfo = obs.ClientInfo
+)
+
+// ErrServerOverloaded matches (via errors.Is) the error a Server
+// returns when its open-KB bound is reached and every open tenant is
+// busy; the HTTP surface maps it to 503.
+var ErrServerOverloaded = server.ErrOverloaded
+
+// NewServer builds the HTTP data plane over a set of tenant KBs; serve
+// its Handler with net/http and Close it on shutdown.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// ContextWithClientInfo labels every query run under the context with
+// a tenant and client identity; the structured query log records both.
+func ContextWithClientInfo(ctx context.Context, ci ClientInfo) context.Context {
+	return obs.ContextWithClient(ctx, ci)
+}
 
 // ParseProgram parses knowledge-base source text (facts, rules,
 // declarations).
