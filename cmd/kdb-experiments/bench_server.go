@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
+	"time"
 
 	"kdb"
 )
@@ -131,21 +134,64 @@ func runServerBench(dataDir string, iters int, out io.Writer) ([]serverBenchResu
 	return results, nil
 }
 
-// postBench sends one JSON request and fails on a non-200 status.
+// postBench sends one JSON request. Backpressure responses (429 when a
+// quota ceiling trips, 503 when the server sheds load or a tenant is
+// degraded) are transient by contract, so the client retries them with
+// jittered exponential backoff, honoring the server's Retry-After
+// header as a floor on each sleep. Any other non-200 fails immediately.
 func postBench(url string, body any) error {
 	b, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	const attempts = 5
+	backoff := 25 * time.Millisecond
+	var last error
+	for i := 0; i < attempts; i++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusOK {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return nil
+		}
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return fmt.Errorf("%s: %s: %s", url, resp.Status, msg)
+		resp.Body.Close()
+		last = fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+		if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+			return last
+		}
+		if i == attempts-1 {
+			break
+		}
+		time.Sleep(backoffSleep(backoff, retryAfterHint(resp)))
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
 	}
-	_, _ = io.Copy(io.Discard, resp.Body)
-	return nil
+	return fmt.Errorf("giving up after %d attempts: %w", attempts, last)
+}
+
+// retryAfterHint parses a delta-seconds Retry-After header, the form
+// kdb serve emits; absent or unparsable headers hint zero.
+func retryAfterHint(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return 0
+}
+
+// backoffSleep jitters the base delay by ±50% — so a herd of shed
+// clients does not re-arrive in lockstep — and floors the result at
+// the server's own hint.
+func backoffSleep(base, floor time.Duration) time.Duration {
+	d := base/2 + time.Duration(rand.Int63n(int64(base)))
+	if d < floor {
+		d = floor
+	}
+	return d
 }

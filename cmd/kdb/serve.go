@@ -33,6 +33,10 @@ func runServe(args []string, out io.Writer) error {
 		idle     = fs.Duration("idle", 5*time.Minute, "close knowledge bases unused for this long (negative = never)")
 		cache    = fs.Int("prepared-cache", 256, "prepared-statement cache entries")
 
+		maxInFlight = fs.Int("max-inflight", 256, "maximum concurrent requests before load shedding (0 = unbounded)")
+		brkFails    = fs.Int("breaker-threshold", 3, "consecutive storage failures that trip a tenant into read-only degraded mode (negative = never)")
+		brkCooldown = fs.Duration("breaker-cooldown", 5*time.Second, "how long a tripped tenant rejects writes before probing recovery")
+
 		timeout  = fs.Duration("timeout", 5*time.Second, "per-request wall-time ceiling (0 = unlimited)")
 		maxFacts = fs.Int("max-facts", 0, "per-request derived-fact ceiling (0 = unlimited)")
 		maxIter  = fs.Int("max-iterations", 0, "per-request fixpoint-iteration ceiling (0 = unlimited)")
@@ -57,6 +61,9 @@ func runServe(args []string, out io.Writer) error {
 		Engine:            kdb.EngineKind(*engine),
 		Parallelism:       *parallel,
 		PreparedCacheSize: *cache,
+		MaxInFlight:       *maxInFlight,
+		BreakerThreshold:  *brkFails,
+		BreakerCooldown:   *brkCooldown,
 		Registry:          kdb.NewMetricsRegistry(),
 		Ceiling: kdb.QueryLimits{
 			MaxWall:              *timeout,

@@ -2,7 +2,8 @@
 // made durable with a snapshot file plus a CRC-checked write-ahead log;
 // this example opens a database, loads facts, simulates a restart, shows
 // recovery, checkpoints, and demonstrates that a torn WAL tail (a crash
-// mid-append) is healed on the next open.
+// mid-append) and an orphaned snapshot temp file (a crash mid-checkpoint)
+// are both healed on the next open.
 //
 // Run from the repository root:
 //
@@ -105,6 +106,28 @@ student(bob, cs, 3.5).
 		log.Fatal(err)
 	}
 	fmt.Printf("session 3: retrieve honor(X) →\n%s\n", res)
+	if err := k3.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate a crash mid-checkpoint: the snapshot is written to a temp
+	// file and renamed into place atomically, so a crash between the two
+	// strands the temp file. Open sweeps such orphans.
+	orphan := filepath.Join(dir, "kdb.snap.tmp-crashed")
+	if err := os.WriteFile(orphan, []byte("partial snapshot"), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("injected an orphaned snapshot temp file (simulated checkpoint crash)")
+	k4, err := kdb.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer k4.Close()
+	if _, err := os.Stat(orphan); os.IsNotExist(err) {
+		fmt.Printf("session 4: orphan swept on open; %d facts intact\n", k4.FactCount())
+	} else {
+		fmt.Println("session 4: orphan still present (unexpected)")
+	}
 }
 
 func fileSize(path string) int64 {

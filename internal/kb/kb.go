@@ -171,6 +171,17 @@ func (k *KB) Checkpoint() error {
 	return k.store.Checkpoint()
 }
 
+// DurabilityErr returns the sticky error poisoning the store's
+// write-ahead log, or nil while it is healthy (always nil for
+// in-memory KBs). A poisoned log rejects every durable write until a
+// successful Checkpoint resets it; health probes surface it per
+// tenant.
+func (k *KB) DurabilityErr() error {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.store.DurabilityErr()
+}
+
 // Generation returns a counter that increases on every schema mutation
 // (LoadProgram; an Assert that declares a new predicate). Prepared
 // statements validated at generation g remain valid while Generation

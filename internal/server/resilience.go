@@ -1,0 +1,284 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kdb/internal/obs"
+	"kdb/internal/storage"
+)
+
+// This file is the server's resilience layer: bounded admission with
+// load shedding, and a per-tenant circuit breaker that converts
+// repeated storage-durability failures into read-only degraded mode
+// instead of letting every write grind against a failing disk.
+
+// errShed marks a request rejected by admission control. It wraps
+// ErrOverloaded so writeError maps it to 503 with a Retry-After.
+var errShed = fmt.Errorf("%w: in-flight request limit reached", ErrOverloaded)
+
+// errDegraded marks a write rejected because the tenant's breaker is
+// open: earlier writes kept failing at the storage layer, so the
+// tenant serves reads only until a probe write or checkpoint succeeds.
+type errDegraded struct{ tenant string }
+
+func (e *errDegraded) Error() string {
+	return fmt.Sprintf("server: knowledge base %s is in read-only degraded mode after storage failures; retry later or checkpoint to recover", e.tenant)
+}
+
+// admission bounds the requests simultaneously inside the data plane.
+// Acquisition is non-blocking: a full server sheds immediately (503 +
+// Retry-After) rather than queueing unbounded goroutines.
+type admission struct {
+	slots    chan struct{}
+	inflight atomic.Int64
+	gauge    *obs.Gauge
+	shed     *obs.Counter
+}
+
+func newAdmission(max int, reg *obs.Registry) *admission {
+	if max <= 0 {
+		return nil // unlimited
+	}
+	return &admission{
+		slots: make(chan struct{}, max),
+		gauge: reg.Gauge("kdb_server_inflight"),
+		shed:  reg.Counter("kdb_server_shed_total"),
+	}
+}
+
+// acquire claims a slot, reporting false (and counting the shed) when
+// the server is full.
+func (a *admission) acquire() bool {
+	select {
+	case a.slots <- struct{}{}:
+		a.gauge.Set(float64(a.inflight.Add(1)))
+		return true
+	default:
+		a.shed.Inc()
+		return false
+	}
+}
+
+func (a *admission) release() {
+	<-a.slots
+	a.gauge.Set(float64(a.inflight.Add(-1)))
+}
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // writes flow, failures counted
+	breakerOpen                         // writes rejected until cooldown
+	breakerHalfOpen                     // one probe write in flight
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is the state for one tenant. Keyed by tenant name — not KB
+// pointer — so the state survives idle eviction and reopening.
+type breaker struct {
+	state     breakerState
+	failures  int       // consecutive durability failures while closed
+	trippedAt time.Time // when the breaker last opened
+}
+
+// breakers holds every tenant's circuit breaker.
+//
+// Lifecycle: consecutive storage-durability failures trip the breaker
+// at threshold; while open, writes are rejected with errDegraded but
+// reads keep serving off the in-RAM relations. After cooldown, one
+// write is admitted as a probe (half-open); its success closes the
+// breaker, a durability failure re-opens it for another cooldown, and
+// any other outcome returns to open with the old trip time so the next
+// write re-probes immediately. A successful checkpoint — the operation
+// that clears a poisoned WAL — closes the breaker from any state.
+type breakers struct {
+	threshold int           // consecutive failures to trip; <= 0 disables
+	cooldown  time.Duration // open -> half-open delay
+	now       func() time.Time
+
+	mu sync.Mutex
+	m  map[string]*breaker
+
+	stateGauge  func(tenant string) *obs.Gauge
+	transitions func(tenant, to string) *obs.Counter
+	probes      func(tenant string) *obs.Counter
+}
+
+func newBreakers(threshold int, cooldown time.Duration, reg *obs.Registry) *breakers {
+	if threshold == 0 {
+		threshold = 3
+	}
+	if cooldown == 0 {
+		cooldown = 5 * time.Second
+	}
+	if cooldown < 0 {
+		cooldown = 0
+	}
+	return &breakers{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		m:         make(map[string]*breaker),
+		stateGauge: func(tenant string) *obs.Gauge {
+			return reg.Gauge("kdb_server_breaker_state", "tenant", tenant)
+		},
+		transitions: func(tenant, to string) *obs.Counter {
+			return reg.Counter("kdb_server_breaker_transitions_total", "tenant", tenant, "to", to)
+		},
+		probes: func(tenant string) *obs.Counter {
+			return reg.Counter("kdb_server_breaker_probes_total", "tenant", tenant)
+		},
+	}
+}
+
+// setLocked moves a tenant's breaker to state s, updating the metrics.
+func (b *breakers) setLocked(tenant string, br *breaker, s breakerState) {
+	if br.state == s {
+		return
+	}
+	br.state = s
+	b.stateGauge(tenant).Set(float64(s))
+	b.transitions(tenant, s.String()).Inc()
+}
+
+// admitWrite decides whether a write for tenant may proceed. probe is
+// true when this write is the half-open recovery probe; the caller
+// must pass it back to record along with the write's outcome, on every
+// path where admitWrite returned ok.
+func (b *breakers) admitWrite(tenant string) (probe, ok bool) {
+	if b == nil || b.threshold <= 0 {
+		return false, true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[tenant]
+	if br == nil || br.state == breakerClosed {
+		return false, true
+	}
+	if br.state == breakerOpen && b.now().Sub(br.trippedAt) >= b.cooldown {
+		b.setLocked(tenant, br, breakerHalfOpen)
+		b.probes(tenant).Inc()
+		return true, true
+	}
+	return false, false // open inside cooldown, or a probe already in flight
+}
+
+// record feeds a write's outcome back. Only storage-durability
+// failures count against the breaker: a parse error or arity mismatch
+// says nothing about the disk under the tenant.
+func (b *breakers) record(tenant string, probe bool, err error) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	durable := errors.Is(err, storage.ErrDurability)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[tenant]
+	if br == nil {
+		if !durable {
+			return // healthy tenant, nothing to track
+		}
+		br = &breaker{}
+		b.m[tenant] = br
+	}
+	switch {
+	case probe:
+		// This write was the half-open probe.
+		switch {
+		case err == nil:
+			b.setLocked(tenant, br, breakerClosed)
+			br.failures = 0
+		case durable:
+			br.trippedAt = b.now()
+			b.setLocked(tenant, br, breakerOpen)
+		default:
+			// The probe failed for a non-storage reason (bad request); we
+			// learned nothing. Reopen with the old trip time so the next
+			// write probes again immediately.
+			b.setLocked(tenant, br, breakerOpen)
+		}
+	case br.state == breakerClosed:
+		if durable {
+			br.failures++
+			if br.failures >= b.threshold {
+				br.trippedAt = b.now()
+				b.setLocked(tenant, br, breakerOpen)
+			}
+		} else if err == nil {
+			br.failures = 0
+		}
+	}
+}
+
+// recordRecovery feeds a checkpoint's outcome back. Checkpoint is the
+// recovery operation — it snapshots RAM state and resets (unpoisons)
+// the WAL — so it bypasses admitWrite, and its success closes the
+// breaker from any state.
+func (b *breakers) recordRecovery(tenant string, err error) {
+	if b == nil || b.threshold <= 0 {
+		return
+	}
+	durable := errors.Is(err, storage.ErrDurability)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.m[tenant]
+	if br == nil {
+		if !durable {
+			return
+		}
+		br = &breaker{}
+		b.m[tenant] = br
+	}
+	switch {
+	case err == nil:
+		b.setLocked(tenant, br, breakerClosed)
+		br.failures = 0
+	case durable:
+		br.failures = b.threshold
+		br.trippedAt = b.now()
+		b.setLocked(tenant, br, breakerOpen)
+	}
+}
+
+// state reports a tenant's breaker state name for /healthz.
+func (b *breakers) state(tenant string) string {
+	if b == nil || b.threshold <= 0 {
+		return breakerClosed.String()
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if br := b.m[tenant]; br != nil {
+		return br.state.String()
+	}
+	return breakerClosed.String()
+}
+
+// tracked lists every tenant with breaker state, including tenants
+// whose KB has since been evicted (the breaker outlives it).
+func (b *breakers) tracked() []string {
+	if b == nil || b.threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.m))
+	for name := range b.m {
+		out = append(out, name)
+	}
+	return out
+}

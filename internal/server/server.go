@@ -39,10 +39,12 @@ import (
 	"time"
 
 	"kdb/internal/analysis"
+	"kdb/internal/fault"
 	"kdb/internal/governor"
 	"kdb/internal/kb"
 	"kdb/internal/obs"
 	"kdb/internal/parser"
+	"kdb/internal/storage"
 	"kdb/internal/term"
 )
 
@@ -76,6 +78,20 @@ type Config struct {
 	// QueryLog, when set, receives one record per query, with the
 	// tenant and client fields filled in.
 	QueryLog *obs.QueryLog
+	// MaxInFlight bounds the requests simultaneously inside the data
+	// plane; excess requests are shed with 503 + Retry-After instead of
+	// queueing. 0 or negative leaves admission unbounded.
+	MaxInFlight int
+	// BreakerThreshold is how many consecutive storage-durability
+	// failures trip a tenant's circuit breaker into read-only degraded
+	// mode (default 3; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker rejects writes
+	// before admitting one probe write (default 5s).
+	BreakerCooldown time.Duration
+	// RetryAfter is the backoff hint stamped on 429/503 responses as a
+	// Retry-After header (default 1s).
+	RetryAfter time.Duration
 }
 
 // Server is the HTTP data plane over a set of tenant KBs.
@@ -85,6 +101,12 @@ type Server struct {
 	tenants  *Manager
 	prepared *preparedCache
 	mux      *http.ServeMux
+
+	// inflight (nil when unbounded) sheds requests past MaxInFlight;
+	// breakers degrades tenants whose storage keeps failing.
+	inflight   *admission
+	breakers   *breakers
+	retryAfter string // preformatted Retry-After header value, in seconds
 
 	requests  func(route, code string) *obs.Counter
 	durations func(route string) *obs.Histogram
@@ -115,7 +137,17 @@ func New(cfg Config) (*Server, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
 	s := &Server{cfg: cfg, reg: reg}
+	s.inflight = newAdmission(cfg.MaxInFlight, reg)
+	s.breakers = newBreakers(cfg.BreakerThreshold, cfg.BreakerCooldown, reg)
+	secs := int(cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	s.retryAfter = strconv.Itoa(secs)
 	s.prepared = newPreparedCache(cfg.PreparedCacheSize, reg)
 	idle := cfg.IdleTimeout
 	if idle < 0 {
@@ -127,6 +159,11 @@ func New(cfg Config) (*Server, error) {
 	reg.SetHelp("kdb_server_request_seconds", "Request latency by route.")
 	reg.SetHelp("kdb_server_open_kbs", "Currently open tenant knowledge bases.")
 	reg.SetHelp("kdb_server_evictions_total", "Tenant knowledge bases closed by eviction (LRU or idle).")
+	reg.SetHelp("kdb_server_inflight", "Requests currently inside the data plane.")
+	reg.SetHelp("kdb_server_shed_total", "Requests shed by admission control (503 + Retry-After).")
+	reg.SetHelp("kdb_server_breaker_state", "Per-tenant circuit breaker state (0 closed, 1 open, 2 half-open).")
+	reg.SetHelp("kdb_server_breaker_transitions_total", "Circuit breaker transitions by tenant and target state.")
+	reg.SetHelp("kdb_server_breaker_probes_total", "Recovery probe writes admitted by half-open breakers.")
 	s.requests = func(route, code string) *obs.Counter {
 		return reg.Counter("kdb_server_requests_total", "route", route, "code", code)
 	}
@@ -140,13 +177,14 @@ func New(cfg Config) (*Server, error) {
 
 	mux := obs.DebugMux(reg)
 	mux.HandleFunc("GET /v1/kbs", s.handleList)
-	mux.HandleFunc("POST /v1/kb/{name}/retrieve", s.handleQuery("retrieve"))
-	mux.HandleFunc("POST /v1/kb/{name}/describe", s.handleQuery("describe"))
-	mux.HandleFunc("POST /v1/kb/{name}/explain", s.handleQuery("explain"))
-	mux.HandleFunc("POST /v1/kb/{name}/assert", s.handleMutate(false))
-	mux.HandleFunc("POST /v1/kb/{name}/retract", s.handleMutate(true))
-	mux.HandleFunc("POST /v1/kb/{name}/load", s.handleLoad)
-	mux.HandleFunc("POST /v1/kb/{name}/check", s.handleCheck)
+	mux.HandleFunc("POST /v1/kb/{name}/retrieve", s.admit(s.handleQuery("retrieve")))
+	mux.HandleFunc("POST /v1/kb/{name}/describe", s.admit(s.handleQuery("describe")))
+	mux.HandleFunc("POST /v1/kb/{name}/explain", s.admit(s.handleQuery("explain")))
+	mux.HandleFunc("POST /v1/kb/{name}/assert", s.admit(s.handleMutate(false)))
+	mux.HandleFunc("POST /v1/kb/{name}/retract", s.admit(s.handleMutate(true)))
+	mux.HandleFunc("POST /v1/kb/{name}/load", s.admit(s.handleLoad))
+	mux.HandleFunc("POST /v1/kb/{name}/check", s.admit(s.handleCheck))
+	mux.HandleFunc("POST /v1/kb/{name}/checkpoint", s.admit(s.handleCheckpoint))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	s.mux = mux
@@ -156,6 +194,9 @@ func New(cfg Config) (*Server, error) {
 // openKB builds the KB for one tenant: durable under Root, in-memory
 // otherwise, with the server's ceiling, engine, and observability.
 func (s *Server) openKB(name string) (*kb.KB, error) {
+	if err := fault.Inject(fault.SiteTenantOpen); err != nil {
+		return nil, err
+	}
 	opts := []kb.Option{
 		kb.WithQueryLimits(s.cfg.Ceiling),
 		kb.WithParallelism(s.cfg.Parallelism),
@@ -186,6 +227,24 @@ func (s *Server) openKB(name string) (*kb.KB, error) {
 		return nil, err
 	}
 	return k, nil
+}
+
+// admit wraps a data-plane handler with admission control: when every
+// in-flight slot is taken the request is shed immediately (503 +
+// Retry-After) instead of queueing a goroutine behind a saturated
+// server.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	if s.inflight == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.inflight.acquire() {
+			s.writeError(w, errShed)
+			return
+		}
+		defer s.inflight.release()
+		h(w, r)
+	}
 }
 
 // Handler returns the server's HTTP handler: the API routes plus the
@@ -269,6 +328,11 @@ func (s *Server) handleQuery(route string) http.HandlerFunc {
 // serveQuery runs one query request end to end and returns the HTTP
 // status it produced.
 func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, route string) int {
+	// Chaos hook: inject latency (to hold an admission slot) or an
+	// error before any real work happens.
+	if err := fault.Inject(fault.SiteRequest); err != nil {
+		return s.writeError(w, err)
+	}
 	name := r.PathValue("name")
 	k, release, err := s.tenants.Acquire(name)
 	if err != nil {
@@ -289,6 +353,9 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, route string
 	}
 	args, err := decodeArgs(req.Args)
 	if err != nil {
+		return s.writeError(w, err)
+	}
+	if err := fault.Inject(fault.SitePreparedBind); err != nil {
 		return s.writeError(w, err)
 	}
 	bound, err := parser.BindPlaceholders(p.query, args)
@@ -426,7 +493,8 @@ func (s *Server) handleMutate(retract bool) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		code := func() int {
-			k, release, err := s.tenants.Acquire(r.PathValue("name"))
+			name := r.PathValue("name")
+			k, release, err := s.tenants.Acquire(name)
 			if err != nil {
 				return s.writeError(w, err)
 			}
@@ -439,17 +507,26 @@ func (s *Server) handleMutate(retract bool) http.HandlerFunc {
 			if err != nil {
 				return s.writeError(w, err)
 			}
+			if !retract && !a.IsGround() {
+				return s.writeError(w, &badRequestError{fmt.Errorf("assert %v: fact is not ground", a)})
+			}
+			// The breaker gates the write only after request validation:
+			// a malformed request should not consume the recovery probe.
+			probe, ok := s.breakers.admitWrite(name)
+			if !ok {
+				return s.writeError(w, &errDegraded{tenant: name})
+			}
 			if retract {
 				removed, err := k.Retract(a)
+				s.breakers.record(name, probe, err)
 				if err != nil {
 					return s.writeError(w, mutateError(err))
 				}
 				return writeJSON(w, http.StatusOK, &mutateResponse{Removed: removed, OK: true})
 			}
-			if !a.IsGround() {
-				return s.writeError(w, &badRequestError{fmt.Errorf("assert %v: fact is not ground", a)})
-			}
-			if err := k.Assert(a); err != nil {
+			err = k.Assert(a)
+			s.breakers.record(name, probe, err)
+			if err != nil {
 				return s.writeError(w, mutateError(err))
 			}
 			return writeJSON(w, http.StatusOK, &mutateResponse{OK: true})
@@ -459,11 +536,12 @@ func (s *Server) handleMutate(retract bool) http.HandlerFunc {
 	}
 }
 
-// mutateError classifies a failed assert/retract: a closed KB stays a
-// 503, everything else (arity mismatch, intensional predicate,
-// non-ground fact) is the client's fault.
+// mutateError classifies a failed assert/retract: a closed KB and a
+// storage-durability failure stay 503s (the server's fault, retryable
+// elsewhere), everything else (arity mismatch, intensional predicate,
+// non-ground fact) is the client's.
 func mutateError(err error) error {
-	if errors.Is(err, kb.ErrClosed) {
+	if errors.Is(err, kb.ErrClosed) || errors.Is(err, storage.ErrDurability) {
 		return err
 	}
 	return &badRequestError{err}
@@ -487,7 +565,8 @@ type loadResponse struct {
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	code := func() int {
-		k, release, err := s.tenants.Acquire(r.PathValue("name"))
+		name := r.PathValue("name")
+		k, release, err := s.tenants.Acquire(name)
 		if err != nil {
 			return s.writeError(w, err)
 		}
@@ -496,13 +575,50 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		if err := decodeBody(r, &req); err != nil {
 			return s.writeError(w, err)
 		}
-		if err := k.LoadString(req.Program); err != nil {
+		// A load asserts facts, so it is a write for breaker purposes.
+		probe, ok := s.breakers.admitWrite(name)
+		if !ok {
+			return s.writeError(w, &errDegraded{tenant: name})
+		}
+		err = k.LoadString(req.Program)
+		s.breakers.record(name, probe, err)
+		if err != nil {
 			return s.writeError(w, err)
 		}
 		return writeJSON(w, http.StatusOK, &loadResponse{OK: true, Facts: k.FactCount(), Rules: len(k.Rules())})
 	}()
 	s.requests("load", strconv.Itoa(code)).Inc()
 	s.durations("load").ObserveDuration(time.Since(start))
+}
+
+// checkpointResponse is the body of a successful /checkpoint.
+type checkpointResponse struct {
+	OK bool `json:"ok"`
+}
+
+// handleCheckpoint folds the tenant's WAL into a snapshot on demand.
+// Checkpoint doubles as the recovery operation for a degraded tenant —
+// it captures the in-RAM state and resets a poisoned log — so it
+// bypasses the write breaker and its outcome feeds the breaker
+// directly: success closes it, a durability failure (re-)trips it.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	code := func() int {
+		name := r.PathValue("name")
+		k, release, err := s.tenants.Acquire(name)
+		if err != nil {
+			return s.writeError(w, err)
+		}
+		defer release()
+		err = k.Checkpoint()
+		s.breakers.recordRecovery(name, err)
+		if err != nil {
+			return s.writeError(w, err)
+		}
+		return writeJSON(w, http.StatusOK, &checkpointResponse{OK: true})
+	}()
+	s.requests("checkpoint", strconv.Itoa(code)).Inc()
+	s.durations("checkpoint").ObserveDuration(time.Since(start))
 }
 
 // checkResponse is the body of /check.
@@ -560,14 +676,60 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"kbs": out})
 }
 
+// healthTenant is one tenant's entry in the health report.
+type healthTenant struct {
+	// Open reports whether the tenant's KB is currently open (an
+	// evicted tenant can still carry breaker state).
+	Open bool `json:"open"`
+	// Breaker is the circuit-breaker state: closed, open, or half-open.
+	Breaker string `json:"breaker"`
+	// Degraded mirrors Breaker != closed: writes are rejected, reads
+	// keep serving off the in-RAM relations.
+	Degraded bool `json:"degraded,omitempty"`
+	// Poisoned reports a sticky WAL failure; only a successful
+	// checkpoint clears it.
+	Poisoned bool `json:"poisoned,omitempty"`
+}
+
+// healthResponse is the body of /healthz.
+type healthResponse struct {
+	OK      bool                    `json:"ok"`
+	State   string                  `json:"state"` // serving | draining
+	Tenants map[string]healthTenant `json:"tenants,omitempty"`
+}
+
 // handleHealthz is the liveness probe: 200 while the server accepts
-// work, 503 once the tenant manager has shut down.
+// work — even with degraded tenants, since the rest keep serving —
+// and 503 once the tenant manager has shut down. The body details
+// per-tenant breaker and WAL-poison state for operators and probes
+// that want more than the status code.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.tenants.Closed() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ok": false})
+		writeJSON(w, http.StatusServiceUnavailable, &healthResponse{State: "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	resp := &healthResponse{OK: true, State: "serving"}
+	open := s.tenants.Snapshot()
+	if len(open) > 0 || len(s.breakers.tracked()) > 0 {
+		resp.Tenants = make(map[string]healthTenant)
+	}
+	for name, k := range open {
+		st := s.breakers.state(name)
+		resp.Tenants[name] = healthTenant{
+			Open:     true,
+			Breaker:  st,
+			Degraded: st != "closed",
+			Poisoned: k.DurabilityErr() != nil,
+		}
+	}
+	for _, name := range s.breakers.tracked() {
+		if _, ok := resp.Tenants[name]; ok {
+			continue
+		}
+		st := s.breakers.state(name)
+		resp.Tenants[name] = healthTenant{Breaker: st, Degraded: st != "closed"}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleIndex names the API surface at the root.
@@ -581,6 +743,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   POST /v1/kb/{name}/retract    {"fact": "p(a)"}
   POST /v1/kb/{name}/load       {"program": "p(a). q(X) :- p(X)."}
   POST /v1/kb/{name}/check
+  POST /v1/kb/{name}/checkpoint
   GET  /healthz
   /metrics  /debug/vars  /debug/pprof/
 `)
@@ -723,6 +886,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) int {
 	var pse *parser.Error
 	var bad *badRequestError
 	var badName *errBadName
+	var degraded *errDegraded
 	switch {
 	case errors.As(err, &le):
 		status = http.StatusTooManyRequests
@@ -755,12 +919,27 @@ func (s *Server) writeError(w http.ResponseWriter, err error) int {
 	case errors.Is(err, ErrOverloaded):
 		status = http.StatusServiceUnavailable
 		detail.Code = "overloaded"
+	case errors.As(err, &degraded):
+		status = http.StatusServiceUnavailable
+		detail.Code = "degraded"
+	case errors.Is(err, storage.ErrDurability), errors.Is(err, fault.ErrInjected):
+		// The write may or may not have reached stable storage; the
+		// client's request was fine. 503 tells it to retry elsewhere
+		// or later, and the breaker meanwhile walls off the tenant.
+		status = http.StatusServiceUnavailable
+		detail.Code = "storage"
 	case errors.As(err, &pe):
 		status = http.StatusInternalServerError
 		detail.Code = "panic"
 		// The stack stays server-side; the message alone identifies the
 		// failure to the client.
 		detail.Message = pe.Error()
+	}
+	// Backpressure statuses carry a Retry-After hint so well-behaved
+	// clients back off instead of hammering a saturated or degraded
+	// server.
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", s.retryAfter)
 	}
 	return writeJSON(w, status, &errorBody{Error: detail})
 }

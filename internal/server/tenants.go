@@ -218,6 +218,19 @@ func (m *Manager) Open() []string {
 	return out
 }
 
+// Snapshot returns the currently open tenants keyed by name. The KBs
+// are not pinned: a concurrently evicted KB is safe to interrogate for
+// health (its methods return ErrClosed) but not to serve requests from.
+func (m *Manager) Snapshot() map[string]*kb.KB {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]*kb.KB, len(m.tenants))
+	for name, t := range m.tenants {
+		out[name] = t.k
+	}
+	return out
+}
+
 // Closed reports whether Close has begun; the health probe uses it.
 func (m *Manager) Closed() bool {
 	m.mu.Lock()

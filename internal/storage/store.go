@@ -1,14 +1,24 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 
+	"kdb/internal/fault"
 	"kdb/internal/term"
 )
+
+// ErrDurability matches (via errors.Is) every error meaning "the
+// in-memory state changed but the change may not have reached stable
+// storage": a WAL append or fsync failure, a poisoned log, a failed
+// checkpoint. Callers that must distinguish "your request was wrong"
+// from "the storage under this database is failing" — the server's
+// circuit breaker, the chaos harness's invariant checks — key on it.
+var ErrDurability = errors.New("storage: durability failure")
 
 // Store aggregates the relations of one extensional database. A Store is
 // either purely in-memory (NewMemory) or durable (Open), in which case
@@ -35,9 +45,13 @@ func NewMemory() *Store {
 // recovering state from the snapshot and write-ahead log if present.
 // A torn final WAL record (crash mid-append) is truncated away.
 func Open(dir string) (*Store, error) {
+	if err := fault.Inject(fault.SiteStoreOpen); err != nil {
+		return nil, fmt.Errorf("storage: open: %w", err)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
+	removeSnapshotOrphans(dir)
 	s := &Store{rels: make(map[string]*Relation), dir: dir}
 	if err := s.loadSnapshot(filepath.Join(dir, snapshotName)); err != nil {
 		return nil, err
@@ -58,8 +72,37 @@ func Open(dir string) (*Store, error) {
 	return s, nil
 }
 
+// removeSnapshotOrphans sweeps kdb.snap.tmp* files left behind by a
+// crash mid-snapshot. The deferred cleanup in writeSnapshot covers
+// every error return, but a process death between temp creation and
+// rename leaves the file on disk — and without this sweep such
+// orphans would accumulate across restarts.
+func removeSnapshotOrphans(dir string) {
+	matches, err := filepath.Glob(filepath.Join(dir, "kdb.snap.tmp*"))
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		_ = os.Remove(m)
+	}
+}
+
 // Dir returns the durable directory, or "" for in-memory stores.
 func (s *Store) Dir() string { return s.dir }
+
+// DurabilityErr returns the sticky error poisoning the write-ahead
+// log, or nil while the log is healthy (always nil for in-memory
+// stores). A poisoned log rejects every append until a successful
+// Checkpoint captures the state and resets it; health surfaces
+// (the server's /healthz) report it per tenant.
+func (s *Store) DurabilityErr() error {
+	if s.wal == nil {
+		return nil
+	}
+	s.wal.mu.Lock()
+	defer s.wal.mu.Unlock()
+	return s.wal.failed
+}
 
 // Relation returns the relation for pred, or nil if no fact for pred has
 // been stored.
@@ -98,10 +141,20 @@ func (s *Store) Insert(pred string, t Tuple) (bool, error) {
 	}
 	if s.wal != nil {
 		if err := s.wal.append(pred, t); err != nil {
-			return true, fmt.Errorf("storage: fact stored but WAL append failed: %w", err)
+			return true, durabilityErr("fact stored but WAL append failed", err)
 		}
 	}
 	return true, nil
+}
+
+// durabilityErr wraps a WAL failure so it matches ErrDurability
+// without double-tagging errors that already carry it (the poisoned-
+// log error appendPayload returns).
+func durabilityErr(msg string, err error) error {
+	if errors.Is(err, ErrDurability) {
+		return fmt.Errorf("storage: %s: %w", msg, err)
+	}
+	return fmt.Errorf("%w: %s: %w", ErrDurability, msg, err)
 }
 
 func (s *Store) insertLocked(pred string, t Tuple) (bool, error) {
@@ -135,7 +188,7 @@ func (s *Store) Delete(pred string, t Tuple) (bool, error) {
 	}
 	if s.wal != nil {
 		if err := s.wal.appendDelete(pred, t); err != nil {
-			return true, fmt.Errorf("storage: fact removed but WAL append failed: %w", err)
+			return true, durabilityErr("fact removed but WAL append failed", err)
 		}
 	}
 	return true, nil
@@ -227,9 +280,19 @@ func (s *Store) Checkpoint() error {
 		return nil
 	}
 	if err := s.writeSnapshot(filepath.Join(s.dir, snapshotName)); err != nil {
-		return err
+		return durabilityErr("checkpoint", err)
 	}
-	return s.wal.reset()
+	// The crash window: the snapshot is published but the log still
+	// holds the pre-checkpoint records. Recovery from here is safe —
+	// replaying the old log over the new snapshot is idempotent — and
+	// the chaos tests prove it by injecting a fault at this site.
+	if err := fault.Inject(fault.SiteCheckpointReset); err != nil {
+		return durabilityErr("checkpoint", err)
+	}
+	if err := s.wal.reset(); err != nil {
+		return durabilityErr("checkpoint", err)
+	}
+	return nil
 }
 
 // Close flushes and closes the WAL. The store must not be used after.

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package storage
+
+// ignorableSyncErr: on non-unix platforms directory fsync semantics
+// differ (Windows has no directory sync at all, and os.File.Sync on a
+// directory handle reports an invalid-handle class of error); treat
+// any sync failure on the directory as non-fatal, matching what the
+// platform can actually promise.
+func ignorableSyncErr(err error) bool {
+	return err != nil
+}

@@ -1,0 +1,17 @@
+//go:build unix
+
+package storage
+
+import (
+	"errors"
+	"syscall"
+)
+
+// ignorableSyncErr reports whether a directory-fsync failure means
+// "this filesystem cannot fsync directories" rather than "the sync
+// failed": EINVAL (e.g. some overlay and virtiofs mounts) and ENOTSUP
+// (FUSE and network filesystems). Real I/O failures (EIO, ENOSPC,
+// EBADF, …) stay fatal.
+func ignorableSyncErr(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
+}

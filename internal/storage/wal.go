@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -12,6 +13,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"kdb/internal/fault"
 )
 
 // File formats.
@@ -115,6 +118,9 @@ type wal struct {
 // clean boundary. A freshly created log's directory entry is fsynced so
 // the file itself survives a crash.
 func openWAL(path string, apply func(pred string, t Tuple, tombstone bool) error) (*wal, error) {
+	if err := fault.Inject(fault.SiteWALOpen); err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal: %w", err)
@@ -153,13 +159,27 @@ func openWAL(path string, apply func(pred string, t Tuple, tombstone bool) error
 
 // syncDir fsyncs a directory so a just-created or just-renamed entry in
 // it is durable. Without it a crash can lose the file itself even
-// though its contents were synced.
+// though its contents were synced. Filesystems that cannot fsync a
+// directory report EINVAL or ENOTSUP (tmpfs variants, some network
+// and FUSE mounts); those are tolerated — on such filesystems the
+// directory entry is as durable as it will ever get, and refusing to
+// run there would fail every WAL and snapshot creation outright.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return fmt.Errorf("storage: open dir for sync: %w", err)
 	}
 	err = d.Sync()
+	// An injected fault replaces the Sync result, flowing through the
+	// same tolerance check as a real filesystem error — so tests can
+	// prove both that EINVAL/ENOTSUP are tolerated and that anything
+	// else fails the caller.
+	if ierr := fault.Inject(fault.SiteDirSync); ierr != nil {
+		err = ierr
+	}
+	if ignorableSyncErr(err) {
+		err = nil
+	}
 	if cerr := d.Close(); err == nil {
 		err = cerr
 	}
@@ -189,6 +209,9 @@ func replayWAL(f *os.File, apply func(string, Tuple, bool) error) (int64, error)
 	}
 	valid := int64(len(walMagic))
 	for {
+		if err := fault.Inject(fault.SiteWALReplay); err != nil {
+			return 0, fmt.Errorf("storage: wal replay: %w", err)
+		}
 		payload, err := readRecord(r)
 		if err == io.EOF {
 			return valid, nil
@@ -251,7 +274,12 @@ func (w *wal) appendPayload(payload []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.failed != nil {
-		return fmt.Errorf("storage: wal poisoned by earlier failure: %w", w.failed)
+		return fmt.Errorf("%w: wal poisoned by earlier failure: %w", ErrDurability, w.failed)
+	}
+	if o := fault.Eval(fault.SiteWALAppend); o != nil {
+		if err := w.injectAppendFault(o, payload); err != nil {
+			return err
+		}
 	}
 	if err := writeRecord(w.w, payload); err != nil {
 		w.recoverLocked(err)
@@ -267,6 +295,36 @@ func (w *wal) appendPayload(payload []byte) error {
 		o.ObserveWALAppend(time.Since(start), int(framed))
 	}
 	return nil
+}
+
+// injectAppendFault applies an armed append failpoint. A torn-write
+// outcome simulates a crash mid-frame: a prefix of the framed record
+// reaches the file and the log is poisoned — no rewind runs, exactly
+// as if the process had died before it could. Recovery happens where
+// it would after a real crash: the torn tail is truncated at the next
+// open. Every other outcome takes the production error path through
+// recoverLocked (or returns nil for latency-only outcomes).
+func (w *wal) injectAppendFault(o *fault.Outcome, payload []byte) error {
+	if o.TornBytes > 0 {
+		var frame bytes.Buffer
+		if err := writeRecord(&frame, payload); err != nil {
+			return err
+		}
+		k := o.TornBytes
+		if k > frame.Len() {
+			k = frame.Len()
+		}
+		_, _ = w.f.Write(frame.Bytes()[:k])
+		_ = w.f.Sync()
+		err := fmt.Errorf("%w: torn write at %s", fault.ErrInjected, fault.SiteWALAppend)
+		w.failed = err
+		return err
+	}
+	err := o.Fire(fault.SiteWALAppend)
+	if err != nil {
+		w.recoverLocked(err)
+	}
+	return err
 }
 
 // recoverLocked rewinds the log to the last durable boundary after a
@@ -292,7 +350,13 @@ func (w *wal) flush() error {
 }
 
 func (w *wal) flushLocked() error {
+	if err := fault.Inject(fault.SiteWALFlush); err != nil {
+		return err
+	}
 	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := fault.Inject(fault.SiteWALSync); err != nil {
 		return err
 	}
 	start := time.Now()
@@ -306,21 +370,33 @@ func (w *wal) flushLocked() error {
 // reset truncates the log after a successful snapshot. It also clears a
 // poisoned state: the snapshot captured every stored fact, so the old
 // log content no longer matters.
+// A failure anywhere past the truncate leaves the file and w.durable
+// out of sync — the old log is already destroyed — so every error path
+// poisons the log. Appending to a half-reset log would otherwise place
+// records at offsets the rewind bookkeeping no longer describes,
+// silently corrupting later records (found by the chaos harness). The
+// poison clears on the next fully successful reset (a checkpoint
+// retry) or on reopen, and the published snapshot already holds every
+// stored fact, so nothing acknowledged is lost.
 func (w *wal) reset() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.w.Reset(w.f) // drop any buffered partial frame
 	if err := w.f.Truncate(0); err != nil {
-		return err
+		w.failed = fmt.Errorf("storage: wal reset truncate: %w", err)
+		return w.failed
 	}
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
-		return err
+		w.failed = fmt.Errorf("storage: wal reset seek: %w", err)
+		return w.failed
 	}
 	if _, err := w.w.WriteString(walMagic); err != nil {
-		return err
+		w.failed = fmt.Errorf("storage: wal reset header: %w", err)
+		return w.failed
 	}
 	if err := w.flushLocked(); err != nil {
-		return err
+		w.failed = fmt.Errorf("storage: wal reset flush: %w", err)
+		return w.failed
 	}
 	w.durable = int64(len(walMagic))
 	w.failed = nil
@@ -354,10 +430,18 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 // renames it over the snapshot path.
 func (s *Store) writeSnapshot(path string) error {
 	start := time.Now()
+	if err := fault.Inject(fault.SiteSnapshotWrite); err != nil {
+		return fmt.Errorf("storage: snapshot write: %w", err)
+	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), "kdb.snap.tmp*")
 	if err != nil {
 		return fmt.Errorf("storage: snapshot temp: %w", err)
 	}
+	// Every failure path below removes the temp file, so a failed sync
+	// or rename cannot strand a kdb.snap.tmp* orphan; after a
+	// successful rename the name no longer exists and the remove is a
+	// no-op. Orphans from a crash (no deferred cleanup runs) are swept
+	// at the next Open.
 	defer os.Remove(tmp.Name())
 	cw := &countingWriter{w: tmp}
 	w := bufio.NewWriter(cw)
@@ -394,12 +478,19 @@ func (s *Store) writeSnapshot(path string) error {
 		tmp.Close()
 		return err
 	}
+	if err := fault.Inject(fault.SiteSnapshotSync); err != nil {
+		tmp.Close()
+		return fmt.Errorf("storage: snapshot sync: %w", err)
+	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return err
 	}
 	if err := tmp.Close(); err != nil {
 		return err
+	}
+	if err := fault.Inject(fault.SiteSnapshotRename); err != nil {
+		return fmt.Errorf("storage: snapshot rename: %w", err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("storage: snapshot rename: %w", err)

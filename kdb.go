@@ -49,6 +49,7 @@ import (
 	"kdb/internal/parser"
 	"kdb/internal/prov"
 	"kdb/internal/server"
+	"kdb/internal/storage"
 	"kdb/internal/term"
 )
 
@@ -132,6 +133,14 @@ var ErrCanceled = governor.ErrCanceled
 // has been closed: callers holding a stale handle get a structured
 // error instead of a raw I/O failure from the store underneath.
 var ErrClosed = kb.ErrClosed
+
+// ErrDurability matches (via errors.Is) every error meaning "the
+// in-memory state changed but the change may not have reached stable
+// storage": a WAL append or fsync failure, a poisoned log, a failed
+// checkpoint. Callers deciding between retrying a request and walling
+// off a failing store key on it; KB.DurabilityErr reports the sticky
+// form, and a successful Checkpoint clears it.
+var ErrDurability = storage.ErrDurability
 
 // ContextWithQueryLimits attaches per-request query limits to a
 // context: they govern every evaluation under it, clamped against the
