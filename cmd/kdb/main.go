@@ -644,7 +644,10 @@ other:
 		}
 		sh.execute(stmt, out)
 	case ".checkpoint":
-		if err := k.Checkpoint(); err != nil {
+		ctx, done := sh.queryContext()
+		err := k.CheckpointContext(ctx)
+		done()
+		if err != nil {
 			fmt.Fprintln(out, "error:", err)
 		} else {
 			fmt.Fprintln(out, "checkpointed")

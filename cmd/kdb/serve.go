@@ -54,7 +54,14 @@ func runServe(args []string, out io.Writer) error {
 		return fmt.Errorf("usage: kdb serve [flags] (no positional arguments)")
 	}
 
+	// baseCtx bounds the server's background goroutines (the tenant
+	// janitor): canceled as soon as a shutdown signal arrives, so they
+	// stop sweeping while in-flight requests drain.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+
 	cfg := kdb.ServerConfig{
+		BaseContext:       baseCtx,
 		Root:              *root,
 		MaxOpenKBs:        *maxOpen,
 		IdleTimeout:       *idle,
@@ -112,6 +119,7 @@ func runServe(args []string, out io.Writer) error {
 		if !*quiet {
 			fmt.Fprintf(out, "kdb serve: %v: draining\n", sig)
 		}
+		cancelBase()
 		// Stop accepting, let in-flight requests finish, then close the
 		// tenants (which waits for any straggling evaluations).
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -135,6 +135,8 @@ func (d *Describer) TransformedRules() []term.Rule { return d.trans.Rules }
 // is not recursive and does not depend on a recursive predicate,
 // Algorithm 1 runs over the original rules; otherwise Algorithm 2 runs
 // over the transformed rules with tags and typed substitutions.
+//
+//kdb:entrypoint
 func (d *Describer) Describe(subject term.Atom, hypothesis term.Formula) (*Answers, error) {
 	return d.DescribeContext(context.Background(), subject, hypothesis, governor.Limits{})
 }

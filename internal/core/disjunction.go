@@ -19,6 +19,8 @@ import (
 // Disjuncts whose hypothesis contradicts the knowledge base are skipped
 // (⊥ ∨ ψ ≡ ψ); if every disjunct contradicts, the special contradiction
 // answer is returned.
+//
+//kdb:entrypoint
 func (d *Describer) DescribeOr(subject term.Atom, disjuncts []term.Formula) (*Answers, error) {
 	return d.DescribeOrContext(context.Background(), subject, disjuncts, governor.Limits{})
 }

@@ -16,6 +16,8 @@ import (
 // only the answers in which every hypothesis conjunct proved necessary —
 // ordinary conjuncts by identification, comparisons by eliminating a body
 // comparison.
+//
+//kdb:entrypoint
 func (d *Describer) DescribeNecessary(subject term.Atom, hypothesis term.Formula) (*Answers, error) {
 	return d.DescribeNecessaryContext(context.Background(), subject, hypothesis, governor.Limits{})
 }

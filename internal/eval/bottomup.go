@@ -241,6 +241,8 @@ func (e *bottomUp) LastStats() *EvalStats { return e.stats.Load() }
 
 // Retrieve evaluates the query bottom-up to completion (no context).
 // Configured limits (WithLimits) still apply.
+//
+//kdb:entrypoint
 func (e *bottomUp) Retrieve(q Query) (*Result, error) {
 	return e.RetrieveContext(context.Background(), q)
 }

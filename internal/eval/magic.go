@@ -64,6 +64,8 @@ func (e *magic) LastStats() *EvalStats { return e.stats.Load() }
 
 // Retrieve rewrites the query and evaluates it bottom-up to completion
 // (no context). Configured limits (WithLimits) still apply.
+//
+//kdb:entrypoint
 func (e *magic) Retrieve(q Query) (*Result, error) {
 	return e.RetrieveContext(context.Background(), q)
 }

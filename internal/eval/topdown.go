@@ -65,6 +65,8 @@ type topDownRun struct {
 
 // Retrieve evaluates the query goal-directed to completion (no
 // context). Configured limits (WithLimits) still apply.
+//
+//kdb:entrypoint
 func (e *topDown) Retrieve(q Query) (*Result, error) {
 	return e.RetrieveContext(context.Background(), q)
 }

@@ -1,0 +1,47 @@
+package fault
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// siteNameRe matches a fully-qualified failpoint name in backticks.
+// Only the DESIGN §5g catalog sentence uses this form, so scanning the
+// whole document recovers exactly that list.
+var siteNameRe = regexp.MustCompile("`((?:storage|server)/[a-z.]+)`")
+
+// TestCatalogMatchesDesignDoc keeps the DESIGN §5g failpoint catalog
+// and the compiled-in registry in lock-step: a site added to the code
+// without documentation (or documented without existing) fails here.
+func TestCatalogMatchesDesignDoc(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "DESIGN.md"))
+	if err != nil {
+		t.Fatalf("reading DESIGN.md: %v", err)
+	}
+	seen := map[string]bool{}
+	var documented []string
+	for _, m := range siteNameRe.FindAllStringSubmatch(string(data), -1) {
+		if !seen[m[1]] {
+			seen[m[1]] = true
+			documented = append(documented, m[1])
+		}
+	}
+	sort.Strings(documented)
+
+	registered := Catalog()
+	for _, site := range registered {
+		if !seen[site] {
+			t.Errorf("site %s is registered but missing from the DESIGN §5g catalog sentence", site)
+		}
+		delete(seen, site)
+	}
+	for site := range seen {
+		t.Errorf("site %s is documented in DESIGN §5g but not registered in the fault catalog", site)
+	}
+	if len(documented) != len(registered) {
+		t.Errorf("DESIGN documents %d sites, catalog registers %d", len(documented), len(registered))
+	}
+}

@@ -207,7 +207,11 @@ func Hits(site string) int {
 // outcome, or nil. Sites that need outcome details beyond an error —
 // torn-write byte counts — call Eval and interpret the Outcome
 // themselves; everything else uses Inject. The returned Outcome is
-// shared and must not be mutated.
+// shared and must not be mutated. Eval is on the append/flush hot
+// path of every durable write: while no site is armed it must stay a
+// single atomic load, with zero allocation.
+//
+//kdb:hotpath
 func Eval(site string) *Outcome {
 	if armed.Load() == 0 {
 		return nil
@@ -229,7 +233,10 @@ func evalSlow(site string) *Outcome {
 // Inject records one pass through site and fires the triggered
 // outcome: sleeps, panics, or returns the injected error. It returns
 // nil when the site is disarmed, the policy does not trigger, or the
-// outcome is latency-only.
+// outcome is latency-only. Like Eval, the disarmed fast path is one
+// atomic load and allocation-free.
+//
+//kdb:hotpath
 func Inject(site string) error {
 	if armed.Load() == 0 {
 		return nil

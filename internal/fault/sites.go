@@ -28,9 +28,17 @@ const (
 	// SiteSnapshotRename guards the atomic rename that publishes a
 	// snapshot.
 	SiteSnapshotRename = "storage/snapshot.rename"
+	// SiteWALRewind guards the truncate-to-durable-offset rewind after
+	// a failed append: a fault here poisons the log (the on-disk state
+	// is unknown), exactly as a real rewind failure would.
+	SiteWALRewind = "storage/wal.rewind"
 	// SiteDirSync guards directory fsyncs (snapshot publish, WAL
 	// creation).
 	SiteDirSync = "storage/dir.sync"
+	// SiteSnapshotSweep guards the crash-orphan sweep at store open; a
+	// fault here models an unreadable directory, leaving kdb.snap.tmp*
+	// orphans for the next open.
+	SiteSnapshotSweep = "storage/snapshot.sweep"
 	// SiteStoreOpen guards opening a durable store (before recovery).
 	SiteStoreOpen = "storage/store.open"
 	// SiteCheckpointReset guards the WAL truncation after a snapshot
@@ -54,6 +62,8 @@ var catalog = map[string]bool{
 	SiteWALSync:         true,
 	SiteWALOpen:         true,
 	SiteWALReplay:       true,
+	SiteWALRewind:       true,
+	SiteSnapshotSweep:   true,
 	SiteSnapshotWrite:   true,
 	SiteSnapshotSync:    true,
 	SiteSnapshotRename:  true,

@@ -52,17 +52,29 @@ var ErrClosed = errors.New("kb: knowledge base is closed")
 type KB struct {
 	mu sync.RWMutex
 
-	cat         *catalog.Catalog
-	store       *storage.Store
-	rules       []term.Rule
+	// cat and store are set at construction and the pointers never
+	// change; the structures themselves do their own locking.
+	cat   *catalog.Catalog
+	store *storage.Store
+	//kdb:guarded-by mu
+	rules []term.Rule
+	//kdb:guarded-by mu
 	constraints []term.Formula
-	engine      EngineKind
+	//kdb:guarded-by mu
+	engine EngineKind
+	//kdb:guarded-by mu
 	parallelism int
-	limits      governor.Limits
-	opts        core.Options
+	//kdb:guarded-by mu
+	limits governor.Limits
+	//kdb:guarded-by mu
+	opts core.Options
+	//kdb:guarded-by mu
 	intensional bool
-	provenance  bool
-	closed      bool // set by Close, guarded by mu
+	//kdb:guarded-by mu
+	provenance bool
+	// closed is set by Close; every entry point checks it first.
+	//kdb:guarded-by mu
+	closed bool
 
 	// gen counts schema mutations (program loads; asserts that declare a
 	// new predicate). Prepared-statement caches compare it to detect
@@ -86,10 +98,12 @@ type KB struct {
 	qlog atomic.Pointer[obs.QueryLog]
 
 	// describer is rebuilt lazily after each load.
+	//kdb:guarded-by mu
 	describer *core.Describer
 
 	// report is the static-analysis report of the most recent successful
 	// load, covering the whole accumulated program.
+	//kdb:guarded-by mu
 	report *analysis.Report
 }
 
@@ -110,7 +124,9 @@ func WithParallelism(n int) Option {
 // entries, and describe search steps. The zero value of each field
 // means unlimited. Context cancellation is honored regardless.
 func WithQueryLimits(l governor.Limits) Option {
-	return func(k *KB) { k.limits = l }
+	// Construction-time: the KB is not yet published to any other
+	// goroutine when options run.
+	return func(k *KB) { k.limits = l } //kdb:nolint lockcheck
 }
 
 // New returns an empty in-memory knowledge base.
@@ -159,14 +175,27 @@ func (k *KB) Close() error {
 }
 
 // Checkpoint folds the write-ahead log into a snapshot (durable KBs).
-// It holds the write lock: a checkpoint racing concurrent asserts could
-// otherwise truncate a WAL record whose fact had not reached the
-// snapshot, silently losing a durable write.
+//
+//kdb:entrypoint
 func (k *KB) Checkpoint() error {
+	return k.CheckpointContext(context.Background())
+}
+
+// CheckpointContext folds the write-ahead log into a snapshot (durable
+// KBs), honoring cancellation up to the point of no return: once the
+// snapshot write begins the operation runs to completion, since an
+// abandoned half-checkpoint is exactly the crash window the storage
+// layer exists to survive. It holds the write lock: a checkpoint racing
+// concurrent asserts could otherwise truncate a WAL record whose fact
+// had not reached the snapshot, silently losing a durable write.
+func (k *KB) CheckpointContext(ctx context.Context) error {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	if k.closed {
 		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	return k.store.Checkpoint()
 }
@@ -209,6 +238,10 @@ func (k *KB) SetParallelism(n int) {
 	k.mu.Unlock()
 }
 
+// setParallelism is called with k.mu held (SetParallelism) or at
+// construction time, before the KB is published.
+//
+//kdb:locked mu
 func (k *KB) setParallelism(n int) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
@@ -259,6 +292,8 @@ func LimitsFromContext(ctx context.Context) (governor.Limits, bool) {
 // effectiveLimitsLocked resolves the limits governing one query:
 // context-carried per-request limits clamped by the configured limits.
 // Callers hold k.mu in either mode.
+//
+//kdb:rlocked mu
 func (k *KB) effectiveLimitsLocked(ctx context.Context) governor.Limits {
 	if req, ok := LimitsFromContext(ctx); ok {
 		return governor.Clamp(req, k.limits)
@@ -427,6 +462,8 @@ func (k *KB) LoadProgram(prog *parser.Program) error {
 // predicates that actually hold facts or carry a @key declaration (the
 // catalog also auto-declares body predicates on first use; counting
 // those as defined would blind the undefined-predicate analyzer).
+//
+//kdb:rlocked mu
 func (k *KB) analysisProgramLocked(prog *parser.Program) *analysis.Program {
 	intensional := make(map[string]bool)
 	for _, r := range k.rules {
@@ -592,6 +629,8 @@ func (k *KB) Constraints() []term.Formula {
 // current database and returns one message per violating instance
 // (capped per constraint). An empty result means the data satisfies all
 // constraints.
+//
+//kdb:entrypoint
 func (k *KB) CheckConstraints() ([]string, error) {
 	return k.CheckConstraintsContext(context.Background())
 }
@@ -651,6 +690,8 @@ func (k *KB) Validate() []string {
 // newEngine builds the configured retrieve engine over the current
 // state, governed by the context's effective limits; extra options
 // (e.g. a provenance recorder) are appended. Callers hold k.mu.
+//
+//kdb:rlocked mu
 func (k *KB) newEngine(ctx context.Context, extra ...eval.EngineOption) eval.Engine {
 	in := eval.Input{Store: k.store, Rules: k.rules}
 	opts := append([]eval.EngineOption{
@@ -672,6 +713,8 @@ func (k *KB) newEngine(ctx context.Context, extra ...eval.EngineOption) eval.Eng
 // Retrieve evaluates a data query (§3.1). The configured query limits
 // (WithQueryLimits) apply; use RetrieveContext to also support
 // cancellation.
+//
+//kdb:entrypoint
 func (k *KB) Retrieve(subject term.Atom, where term.Formula) (*eval.Result, error) {
 	return k.RetrieveContext(context.Background(), subject, where)
 }
@@ -701,6 +744,8 @@ func (k *KB) RetrieveContext(ctx context.Context, subject term.Atom, where term.
 // RetrieveOr evaluates a data query with a disjunctive qualifier
 // (§6's second research direction): the answer is the union of the
 // per-disjunct answers.
+//
+//kdb:entrypoint
 func (k *KB) RetrieveOr(subject term.Atom, disjuncts []term.Formula) (*eval.Result, error) {
 	return k.RetrieveOrContext(context.Background(), subject, disjuncts)
 }
@@ -749,6 +794,8 @@ const maxExplainNodes = 10000
 // Explain evaluates the subject like Retrieve while recording one
 // why-provenance witness per derived fact, then reconstructs the
 // derivation tree of every answer. See ExplainContext.
+//
+//kdb:entrypoint
 func (k *KB) Explain(subject term.Atom, where term.Formula) (*prov.Explanation, error) {
 	return k.ExplainContext(context.Background(), subject, where)
 }
@@ -789,6 +836,8 @@ func (k *KB) ExplainContext(ctx context.Context, subject term.Atom, where term.F
 
 // DescribeOr evaluates a knowledge query with a disjunctive hypothesis:
 // the answers that hold under every disjunct.
+//
+//kdb:entrypoint
 func (k *KB) DescribeOr(subject term.Atom, disjuncts []term.Formula) (*core.Answers, error) {
 	return k.DescribeOrContext(context.Background(), subject, disjuncts)
 }
@@ -959,6 +1008,8 @@ func (k *KB) getDescriber() (*core.Describer, error) {
 // names in answers are replaced by their @name display names. The
 // configured query limits apply; use DescribeContext to also support
 // cancellation.
+//
+//kdb:entrypoint
 func (k *KB) Describe(subject term.Atom, where term.Formula) (*core.Answers, error) {
 	return k.DescribeContext(context.Background(), subject, where)
 }
@@ -985,6 +1036,8 @@ func (k *KB) DescribeContext(ctx context.Context, subject term.Atom, where term.
 }
 
 // DescribeNecessary evaluates `describe … where necessary ψ` (§6 ext. 1).
+//
+//kdb:entrypoint
 func (k *KB) DescribeNecessary(subject term.Atom, where term.Formula) (*core.Answers, error) {
 	return k.DescribeNecessaryContext(context.Background(), subject, where)
 }
@@ -1061,6 +1114,8 @@ func (k *KB) applyDisplayNames(ans *core.Answers) {
 // result. It is the single coherent instrument the paper argues for: the
 // caller does not need to know whether the question addresses data or
 // knowledge.
+//
+//kdb:entrypoint
 func (k *KB) Exec(q parser.Query) (*ExecResult, error) {
 	return k.ExecContext(context.Background(), q)
 }
@@ -1168,6 +1223,8 @@ func (k *KB) execContext(ctx context.Context, q parser.Query) (*ExecResult, erro
 }
 
 // ExecString parses and runs one query given as text.
+//
+//kdb:entrypoint
 func (k *KB) ExecString(src string) (*ExecResult, error) {
 	return k.ExecStringContext(context.Background(), src)
 }

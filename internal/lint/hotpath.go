@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// allocPkgs are packages whose exported API allocates on essentially
+// every call; a hotpath body may not call into them at all.
+var allocPkgs = map[string]bool{
+	"fmt":     true,
+	"errors":  true,
+	"log":     true,
+	"sort":    true,
+	"strings": true,
+	"strconv": true,
+	"bytes":   true,
+	"regexp":  true,
+	"reflect": true,
+}
+
+// HotPath makes the repo's AllocsPerRun==0 benchmark gates static. A
+// function marked //kdb:hotpath must not contain allocating
+// constructs: map/slice composite literals, &T{} heap literals, make,
+// new, append, closures, go statements, string concatenation,
+// string<->[]byte conversions, calls into fmt/errors/... , or
+// interface boxing of non-pointer-shaped values. A statement preceded
+// by a //kdb:coldpath comment is excluded — that is how a guarded
+// slow branch (tracing enabled, fault armed) lives inside a hot
+// function without weakening the check on the fast path.
+//
+// The check is local: calls to ordinary functions are permitted, on
+// the grounds that any callee on the hot path is itself annotated (or
+// gated by its own benchmark).
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: "//kdb:hotpath functions must be allocation-free: no composite\n" +
+		"literals that escape, no make/new/append, no closures, no fmt, no\n" +
+		"interface boxing; mark guarded slow branches //kdb:coldpath",
+	Run: runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, f := range pass.Files {
+		// Lines whose statements the check skips: any line immediately
+		// following (or containing) a //kdb:coldpath comment.
+		cold := map[int]bool{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if _, ok := directiveArg(c.Text, "coldpath"); ok {
+					p := pass.Fset.Position(c.End())
+					cold[p.Line] = true
+					cold[p.Line+1] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if _, ok := funcDirective(fn, "hotpath"); !ok {
+				continue
+			}
+			checkHotBody(pass, fn, cold)
+		}
+	}
+	return nil
+}
+
+func checkHotBody(pass *Pass, fn *ast.FuncDecl, cold map[int]bool) {
+	var visit func(n ast.Node)
+	visitStmtList := func(list []ast.Stmt) {
+		for _, s := range list {
+			if cold[pass.Fset.Position(s.Pos()).Line] {
+				continue
+			}
+			visit(s)
+		}
+	}
+	visit = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			visitStmtList(n.List)
+			return
+		case *ast.CaseClause:
+			for _, e := range n.List {
+				visit(e)
+			}
+			visitStmtList(n.Body)
+			return
+		case *ast.CommClause:
+			visit(n.Comm)
+			visitStmtList(n.Body)
+			return
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hotpath: closure may escape to the heap")
+			return
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "hotpath: go statement allocates a goroutine")
+			return
+		case *ast.CompositeLit:
+			t := pass.Info.Types[n].Type
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(n.Pos(), "hotpath: map literal allocates")
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "hotpath: slice literal allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "hotpath: &T{} literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if t := pass.Info.Types[n].Type; t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						if v := pass.Info.Types[n].Value; v == nil { // non-constant
+							pass.Reportf(n.Pos(), "hotpath: string concatenation allocates")
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n)
+		}
+		// Generic descent for everything not handled structurally above.
+		children(n, visit)
+	}
+	visitStmtList(fn.Body.List)
+}
+
+// checkHotCall inspects one call in a hotpath body.
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	// Builtins and conversions.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "make":
+			pass.Reportf(call.Pos(), "hotpath: make allocates")
+			return
+		case "new":
+			pass.Reportf(call.Pos(), "hotpath: new allocates")
+			return
+		case "append":
+			pass.Reportf(call.Pos(), "hotpath: append may grow and allocate")
+			return
+		}
+	}
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		// A conversion. string <-> []byte/[]rune copies.
+		to := tv.Type.Underlying()
+		if len(call.Args) == 1 {
+			from := pass.Info.Types[call.Args[0]].Type
+			if from != nil && isStringByteConv(from.Underlying(), to) {
+				pass.Reportf(call.Pos(), "hotpath: string/[]byte conversion copies and allocates")
+			}
+		}
+		return
+	}
+
+	callee := calleeObj(pass.Info, call)
+	if callee != nil && allocPkgs[pkgPathOf(callee)] {
+		pass.Reportf(call.Pos(), "hotpath: call into allocating package %s", pkgPathOf(callee))
+		return
+	}
+
+	// Interface boxing: a non-pointer-shaped value passed where an
+	// interface is expected is heap-boxed at the call site.
+	sig, ok := typeOfFun(pass, call).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // f(xs...) passes the slice through unboxed
+			}
+			if s, ok := params.At(params.Len() - 1).Type().Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, ok := pt.Underlying().(*types.Interface); !ok {
+			continue
+		}
+		at := pass.Info.Types[arg].Type
+		if at == nil || isPointerShaped(at) {
+			continue
+		}
+		if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if _, ok := at.Underlying().(*types.Interface); ok {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "hotpath: passing %s to an interface parameter boxes it on the heap", at)
+	}
+}
+
+func typeOfFun(pass *Pass, call *ast.CallExpr) types.Type {
+	if t := pass.Info.Types[call.Fun].Type; t != nil {
+		return t.Underlying()
+	}
+	return nil
+}
+
+// isPointerShaped reports whether values of t fit in an interface's
+// data word without boxing: pointers, channels, maps, funcs, and
+// unsafe.Pointer.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isStringByteConv(from, to types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		s, ok := t.(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+	}
+	return isStr(from) && isByteOrRuneSlice(to) || isByteOrRuneSlice(from) && isStr(to)
+}
+
+// children walks n's immediate children with visit, without
+// re-entering n itself.
+func children(n ast.Node, visit func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c == nil {
+			return false
+		}
+		visit(c)
+		return false
+	})
+}

@@ -1,0 +1,315 @@
+// Package lint is the engine's self-analysis suite: a set of
+// repo-specific static analyzers that machine-check the invariants the
+// rest of the tree merely documents — lock discipline around the WAL
+// and the tenant tables, the structured-error taxonomy at package
+// boundaries, context propagation through request paths, zero-alloc
+// hot paths, and failpoint coverage of raw storage syscalls. The
+// cmd/kdb-vet multichecker runs every analyzer over ./... and CI fails
+// on any diagnostic, so the invariants hold by construction rather
+// than by review.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Reportf, analysistest-style golden corpora) but is
+// built on the standard library alone — go/parser and go/types over
+// export data produced by `go list -export` — because this module
+// deliberately has no third-party dependencies. Porting an analyzer
+// to the x/tools driver is a mechanical change of the Run signature.
+//
+// Annotation grammar (DESIGN §5h):
+//
+//	//kdb:guarded-by mu      on a struct field: accesses require mu held
+//	//kdb:locked mu          on a func: caller holds mu (write mode)
+//	//kdb:rlocked mu         on a func: caller holds mu (read mode)
+//	//kdb:hotpath            on a func: body must not allocate
+//	//kdb:coldpath           on a stmt: excluded from the hotpath check
+//	//kdb:entrypoint         on a func: may call context.Background
+//	//kdb:nolint name[,name] on a line: suppress those analyzers there
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Run inspects a single package and
+// reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //kdb:nolint
+	// suppressions.
+	Name string
+	// Doc is the one-paragraph description kdb-vet prints for -help.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzed package to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding, positioned and attributed.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// PathHasSuffix reports whether the package import path ends in one of
+// the given slash-separated suffixes. Scoped analyzers (errwrap,
+// ctxflow, faultsite) match real packages and their testdata replicas
+// by suffix: both kdb/internal/storage and
+// kdb/internal/lint/testdata/src/faultsite/internal/storage are "the
+// storage package" to faultsite.
+func (p *Pass) PathHasSuffix(suffixes ...string) bool {
+	path := p.Pkg.Path()
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns every analyzer in the suite, in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{LockCheck, ErrWrap, CtxFlow, HotPath, FaultSite}
+}
+
+// Run executes the analyzers over the loaded packages and returns the
+// surviving diagnostics (after //kdb:nolint suppression), sorted by
+// position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		diags = suppress(pkg, diags)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// suppress drops diagnostics sitting on a line that carries a
+// //kdb:nolint directive naming their analyzer (or naming none, which
+// suppresses all of them).
+func suppress(pkg *Package, diags []Diagnostic) []Diagnostic {
+	type lineKey struct {
+		file string
+		line int
+	}
+	nolint := map[lineKey][]string{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				arg, ok := directiveArg(c.Text, "nolint")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				names := []string{}
+				for _, n := range strings.Split(arg, ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						names = append(names, n)
+					}
+				}
+				nolint[lineKey{pos.Filename, pos.Line}] = names
+			}
+		}
+	}
+	if len(nolint) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		names, ok := nolint[lineKey{d.Pos.Filename, d.Pos.Line}]
+		if ok && (len(names) == 0 || contains(names, d.Analyzer)) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// --- //kdb: directive helpers -------------------------------------------
+
+// directiveArg parses one comment line of the form "//kdb:name arg".
+// It returns the argument (possibly empty) and whether the directive
+// is present.
+func directiveArg(comment, name string) (string, bool) {
+	text, ok := strings.CutPrefix(comment, "//kdb:")
+	if !ok {
+		return "", false
+	}
+	text, ok = strings.CutPrefix(text, name)
+	if !ok {
+		return "", false
+	}
+	if text != "" && text[0] != ' ' && text[0] != '\t' {
+		return "", false // a longer directive name, e.g. kdb:nolintfoo
+	}
+	return strings.TrimSpace(text), true
+}
+
+// groupDirective scans comment groups for a //kdb:name directive and
+// returns its argument.
+func groupDirective(name string, groups ...*ast.CommentGroup) (string, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if arg, ok := directiveArg(c.Text, name); ok {
+				return arg, ok
+			}
+		}
+	}
+	return "", false
+}
+
+// funcDirective reads a //kdb: directive off a function's doc comment.
+func funcDirective(fn *ast.FuncDecl, name string) (string, bool) {
+	return groupDirective(name, fn.Doc)
+}
+
+// exprPath renders a selector chain (w, s.wal, k.store) as a dotted
+// path, or "" when the expression is not a pure ident/selector chain.
+// Parenthesized and dereferenced forms reduce to the same path, so
+// (*s).mu and s.mu agree.
+func exprPath(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprPath(e.X)
+	case *ast.StarExpr:
+		return exprPath(e.X)
+	}
+	return ""
+}
+
+// rootIdent returns the leftmost identifier of a selector chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// calleeObj resolves the called function or method object of a call,
+// or nil for builtins, type conversions, and indirect calls.
+func calleeObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// pkgPathOf returns the import path of the package an object belongs
+// to, or "" for universe-scope objects.
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// pathIs reports whether an import path equals or has the given
+// slash-suffix (see Pass.PathHasSuffix for why suffix matching).
+func pathIs(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t implements the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsUntyped != 0 {
+		return false // untyped nil and friends
+	}
+	return types.Implements(t, errorType)
+}

@@ -1,0 +1,84 @@
+// Package kb is the golden corpus for the ctxflow analyzer. Its
+// import path ends in internal/kb, putting it below entry-point depth:
+// context.Background and context.TODO are rejected unless the function
+// is an annotated entry point, and a function with a context in hand
+// must not call Foo when FooContext exists.
+package kb
+
+import (
+	"context"
+	"net/http"
+)
+
+// severed starts a fresh context mid-layer: the caller's deadline and
+// cancellation are lost.
+func severed() context.Context {
+	return context.Background() // want "context.Background below entry-point depth"
+}
+
+// undecided is no better.
+func undecided() context.Context {
+	return context.TODO() // want "context.TODO below entry-point depth"
+}
+
+// Exec is an audited compatibility wrapper: the documented start of a
+// context chain.
+//
+//kdb:entrypoint
+func Exec() error {
+	return ExecContext(context.Background())
+}
+
+// ExecContext is the real implementation.
+func ExecContext(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// DB has a Context-suffixed sibling pair of methods.
+type DB struct{}
+
+// Query evaluates without a context.
+func (d *DB) Query() error { return nil }
+
+// QueryContext evaluates under ctx.
+func (d *DB) QueryContext(ctx context.Context) error { return ctx.Err() }
+
+// Ping has no Context sibling; calling it drops nothing.
+func (d *DB) Ping() error { return nil }
+
+// dropsMethodContext has ctx in hand and discards it.
+func dropsMethodContext(ctx context.Context, d *DB) error {
+	return d.Query() // want "call to Query drops the in-scope context; use QueryContext"
+}
+
+// handlerDrops has a request (hence a context) in hand.
+func handlerDrops(w http.ResponseWriter, r *http.Request, d *DB) {
+	_ = d.Query() // want "call to Query drops the in-scope context; use QueryContext"
+}
+
+// threads passes the context on: no diagnostic.
+func threads(ctx context.Context, d *DB) error {
+	return d.QueryContext(ctx)
+}
+
+// noSibling calls a method without a Context variant: no diagnostic.
+func noSibling(ctx context.Context, d *DB) error {
+	return d.Ping()
+}
+
+// noContextInHand has no context parameter, so there is nothing to
+// drop: no diagnostic.
+func noContextInHand(d *DB) error {
+	return d.Query()
+}
+
+// Run is a package-level sibling pair.
+func Run() error { return nil }
+
+// RunContext is its context-threaded form.
+func RunContext(ctx context.Context) error { return ctx.Err() }
+
+// dropsFuncContext drops ctx on a package-level call.
+func dropsFuncContext(ctx context.Context) error {
+	return Run() // want "call to Run drops the in-scope context; use RunContext"
+}

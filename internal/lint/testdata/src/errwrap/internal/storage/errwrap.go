@@ -1,0 +1,52 @@
+// Package storage is the golden corpus for the errwrap analyzer. Its
+// import path ends in internal/storage, putting it inside the
+// boundary-package scope where every error given to fmt.Errorf must be
+// wrapped with %w.
+package storage
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base failure")
+
+// stringified drops the cause to %v: errors.Is can no longer see it.
+func stringified(err error) error {
+	return fmt.Errorf("read failed: %v", err) // want "formats an error value without %w"
+}
+
+// viaErrorMethod stringifies by hand, which is just as lossy.
+func viaErrorMethod(err error) error {
+	return fmt.Errorf("read failed: %s", err.Error()) // want "stringifies an error with \.Error\(\)"
+}
+
+// wrapped is the correct form: no diagnostic.
+func wrapped(err error) error {
+	return fmt.Errorf("read failed: %w", err)
+}
+
+// doubleWrapped wraps both causes (Go 1.20+): no diagnostic.
+func doubleWrapped(cause, err error) error {
+	return fmt.Errorf("%w (rewind failed: %w)", cause, err)
+}
+
+// halfWrapped wraps one cause and loses the other.
+func halfWrapped(cause, err error) error {
+	return fmt.Errorf("%w (rewind failed: %v)", cause, err) // want "formats an error value without %w.*2 error arg\(s\), 1 %w verb"
+}
+
+// nonError formats ordinary values: no diagnostic.
+func nonError(n int, name string) error {
+	return fmt.Errorf("relation %s has arity %d", name, n)
+}
+
+// percentEscapes must not count %% as a verb.
+func percentEscapes(err error) error {
+	return fmt.Errorf("at 50%%: %w", err)
+}
+
+// flaggedVerb still finds the w after flags and width.
+func flaggedVerb(err error) error {
+	return fmt.Errorf("cause: %+w", err)
+}

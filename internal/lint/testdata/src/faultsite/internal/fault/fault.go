@@ -1,0 +1,20 @@
+// Package fault is a minimal stand-in for kdb/internal/fault: the
+// faultsite analyzer recognizes any package whose import path ends in
+// internal/fault, so the fixture exercises the real exemption logic
+// without importing the production package.
+package fault
+
+// SiteTestWrite is the fixture's lone registered site.
+const SiteTestWrite = "test/write"
+
+// Inject mimics the production failpoint evaluation.
+func Inject(site string) error { return nil }
+
+// Eval mimics the outcome-returning form.
+func Eval(site string) *Outcome { return nil }
+
+// Outcome mimics the production outcome.
+type Outcome struct{}
+
+// Fire mimics firing a triggered outcome.
+func (o *Outcome) Fire(site string) error { return nil }

@@ -1,0 +1,61 @@
+// Package storage is the golden corpus for the faultsite analyzer.
+// Its import path ends in internal/storage, so every mutating
+// filesystem syscall must sit in a function that references the fault
+// package.
+package storage
+
+import (
+	"os"
+
+	"kdb/internal/lint/testdata/src/faultsite/internal/fault"
+)
+
+// rawSync performs fragile syscalls with no failpoint in reach: the
+// chaos harness cannot make them fail.
+func rawSync(f *os.File) error {
+	if err := f.Sync(); err != nil { // want "raw \(\*os.File\).Sync without a fault.Site guard"
+		return err
+	}
+	return f.Truncate(0) // want "raw \(\*os.File\).Truncate without a fault.Site guard"
+}
+
+// rawRename mutates the filesystem through package os, unguarded.
+func rawRename(from, to string) error {
+	return os.Rename(from, to) // want "raw os.Rename without a fault.Site guard"
+}
+
+// rawWrites covers the write family.
+func rawWrites(f *os.File, b []byte) {
+	_, _ = f.Write(b)           // want "raw \(\*os.File\).Write without a fault.Site guard"
+	_, _ = f.WriteString("x")   // want "raw \(\*os.File\).WriteString without a fault.Site guard"
+	_ = os.WriteFile("p", b, 0) // want "raw os.WriteFile without a fault.Site guard"
+}
+
+// guardedSync evaluates a registered site first: the syscall is
+// reachable by an armed fault, so it is exempt.
+func guardedSync(f *os.File) error {
+	if err := fault.Inject(fault.SiteTestWrite); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// guardedViaEval counts too: any reference to the fault package marks
+// the function injectable.
+func guardedViaEval(f *os.File) error {
+	if o := fault.Eval(fault.SiteTestWrite); o != nil {
+		if err := o.Fire(fault.SiteTestWrite); err != nil {
+			return err
+		}
+	}
+	return f.Truncate(0)
+}
+
+// harmless performs no mutating syscalls: nothing to guard.
+func harmless(f *os.File) (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}

@@ -1,0 +1,74 @@
+// Package hotpathtest is the golden corpus for the hotpath analyzer:
+// //kdb:hotpath bodies must be allocation-free, with //kdb:coldpath
+// escaping guarded slow branches.
+package hotpathtest
+
+import "fmt"
+
+var sink interface{}
+
+// free is the shape the annotation demands: loads, stores, arithmetic.
+//
+//kdb:hotpath
+func free(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// allocates trips every class of allocating construct.
+//
+//kdb:hotpath
+func allocates(xs []int, n int, s string, b []byte) {
+	_ = make([]int, n)          // want "hotpath: make allocates"
+	_ = new(int)                // want "hotpath: new allocates"
+	_ = append(xs, n)           // want "hotpath: append may grow and allocate"
+	_ = []int{n}                // want "hotpath: slice literal allocates"
+	_ = s + "suffix"            // want "hotpath: string concatenation allocates"
+	_ = string(b)               // want "hotpath: string/\[\]byte conversion copies and allocates"
+	_ = map[string]int{}        // want "hotpath: map literal allocates"
+	_ = &struct{ x int }{x: n}  // want "hotpath: &T\{\} literal escapes to the heap"
+	_ = func() int { return n } // want "hotpath: closure may escape to the heap"
+	go fmt.Println()            // want "hotpath: go statement allocates a goroutine"
+}
+
+// callsFmt calls into a package that allocates on every call.
+//
+//kdb:hotpath
+func callsFmt(err error) string {
+	return fmt.Sprintf("%v", err) // want "hotpath: call into allocating package fmt"
+}
+
+// boxes passes a non-pointer-shaped value to an interface parameter.
+//
+//kdb:hotpath
+func boxes(n int) {
+	store(n) // want "hotpath: passing int to an interface parameter boxes it on the heap"
+}
+
+// pointerShaped values ride in the interface word: no diagnostic.
+//
+//kdb:hotpath
+func pointerShaped(p *int) {
+	store(p)
+}
+
+// coldBranch shows the escape hatch: the annotated statement is
+// excluded so a guarded slow path can live inside a hot function.
+//
+//kdb:hotpath
+func coldBranch(armed bool, n int) {
+	if armed {
+		//kdb:coldpath — tracing branch, taken only when armed
+		sink = fmt.Sprintf("n=%d", n)
+	}
+}
+
+// unannotated functions may allocate freely: no diagnostics.
+func unannotated(n int) []int {
+	return make([]int, n)
+}
+
+func store(v interface{}) { sink = v }

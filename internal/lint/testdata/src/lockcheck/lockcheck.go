@@ -1,0 +1,98 @@
+// Package lockchecktest is the golden corpus for the lockcheck
+// analyzer: each expectation comment names a diagnostic the analyzer
+// must produce on that line, and any unexpected diagnostic fails the
+// test.
+package lockchecktest
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	//kdb:guarded-by mu
+	count int
+	//kdb:guarded-by mu
+	names map[string]int
+
+	// plain is unguarded: access it freely.
+	plain int
+}
+
+type badAnnotations struct {
+	//kdb:guarded-by
+	a int // want "kdb:guarded-by needs a mutex field name"
+	//kdb:guarded-by missing
+	b int // want "no sibling sync.Mutex or sync.RWMutex field"
+	// notAMutex is an int, not a lock.
+	notAMutex int
+	//kdb:guarded-by notAMutex
+	c int // want "no sibling sync.Mutex or sync.RWMutex field"
+}
+
+// readWithoutLock reads guarded state with no lock in sight.
+func readWithoutLock(c *counter) int {
+	return c.count // want "reading c.count \(guarded by c.mu\) without holding c.mu"
+}
+
+// writeUnderReadLock is the PR 6 bug shape: mutation under RLock.
+func writeUnderReadLock(c *counter) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.count++ // want "writing c.count \(guarded by c.mu\) while holding only the read lock"
+}
+
+// writeUnderWriteLock is the correct discipline: no diagnostic.
+func writeUnderWriteLock(c *counter) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.count++
+	c.names["x"] = c.count
+}
+
+// readUnderReadLock is fine: reads need only the read lock.
+func readUnderReadLock(c *counter) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.count
+}
+
+// takesAddress escapes guarded state by address without the lock.
+func takesAddress(c *counter) *int {
+	return &c.count // want "writing c.count \(guarded by c.mu\) without holding c.mu"
+}
+
+// resetLocked documents the contract instead of acquiring: the
+// directive stands in for the caller's Lock(), keyed to the receiver.
+//
+//kdb:locked mu
+func (c *counter) resetLocked() {
+	c.count = 0
+}
+
+// snapshotLocked may read but not write under the caller's read lock.
+//
+//kdb:rlocked mu
+func (c *counter) snapshotLocked() int {
+	return c.count
+}
+
+// writeUnderDeclaredReadLock holds only the caller's read lock, so the
+// write is still the PR 6 shape.
+//
+//kdb:rlocked mu
+func (c *counter) writeUnderDeclaredReadLock() {
+	c.count++ // want "writing c.count \(guarded by c.mu\) while holding only the read lock"
+}
+
+// freshLocal builds the object itself: unpublished, no lock needed.
+func freshLocal() int {
+	c := &counter{names: map[string]int{}}
+	c.count = 41
+	c.count++
+	return c.count
+}
+
+// unguardedField is not annotated; no discipline applies.
+func unguardedField(c *counter) int {
+	c.plain++
+	return c.plain
+}

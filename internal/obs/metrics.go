@@ -54,7 +54,10 @@ func NewRegistry() *Registry { return &Registry{fams: map[string]*family{}} }
 // Counter is a monotonically increasing int64 instrument. Nil-safe.
 type Counter struct{ s *series }
 
-// Add increments the counter by d (d < 0 is ignored).
+// Add increments the counter by d (d < 0 is ignored). Counters sit on
+// request and evaluation hot paths; Add must not allocate.
+//
+//kdb:hotpath
 func (c *Counter) Add(d int64) {
 	if c == nil || c.s == nil || d < 0 {
 		return
@@ -76,7 +79,9 @@ func (c *Counter) Value() int64 {
 // Gauge is a float64 instrument that may go up and down. Nil-safe.
 type Gauge struct{ s *series }
 
-// Set stores v.
+// Set stores v. Allocation-free, like Counter.Add.
+//
+//kdb:hotpath
 func (g *Gauge) Set(v float64) {
 	if g == nil || g.s == nil {
 		return

@@ -92,6 +92,10 @@ type Config struct {
 	// RetryAfter is the backoff hint stamped on 429/503 responses as a
 	// Retry-After header (default 1s).
 	RetryAfter time.Duration
+	// BaseContext bounds the server's background work (the tenant
+	// janitor): canceling it stops those goroutines even before Close.
+	// Nil means the server's lifetime is bounded only by Close.
+	BaseContext context.Context
 }
 
 // Server is the HTTP data plane over a set of tenant KBs.
@@ -113,7 +117,11 @@ type Server struct {
 }
 
 // New builds a Server. When cfg.Root is set it must be an existing
-// directory (tenant stores are created beneath it on demand).
+// directory (tenant stores are created beneath it on demand). New is a
+// chain root: the context.Background fallback below is the documented
+// meaning of a nil cfg.BaseContext, not a lost request context.
+//
+//kdb:entrypoint
 func New(cfg Config) (*Server, error) {
 	if cfg.Root != "" {
 		fi, err := os.Stat(cfg.Root)
@@ -153,7 +161,11 @@ func New(cfg Config) (*Server, error) {
 	if idle < 0 {
 		idle = 0
 	}
-	s.tenants = newManager(cfg.Root, cfg.MaxOpenKBs, idle, s.openKB)
+	baseCtx := cfg.BaseContext
+	if baseCtx == nil {
+		baseCtx = context.Background()
+	}
+	s.tenants = newManager(baseCtx, cfg.Root, cfg.MaxOpenKBs, idle, s.openKB)
 
 	reg.SetHelp("kdb_server_requests_total", "Served requests by route and status code.")
 	reg.SetHelp("kdb_server_request_seconds", "Request latency by route.")
@@ -610,7 +622,8 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 			return s.writeError(w, err)
 		}
 		defer release()
-		err = k.Checkpoint()
+		ctx := obs.ContextWithClient(r.Context(), obs.ClientInfo{Tenant: name, Client: clientID(r, "")})
+		err = k.CheckpointContext(ctx)
 		s.breakers.recordRecovery(name, err)
 		if err != nil {
 			return s.writeError(w, err)

@@ -444,7 +444,7 @@ func TestDurableTenantsAndEviction(t *testing.T) {
 }
 
 func TestManagerOverloadAndClose(t *testing.T) {
-	m := newManager("", 1, 0, func(string) (*kb.KB, error) { return kb.New(), nil })
+	m := newManager(context.Background(), "", 1, 0, func(string) (*kb.KB, error) { return kb.New(), nil })
 	_, release1, err := m.Acquire("one")
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -48,21 +49,29 @@ type Manager struct {
 	// onOpenCount observes the open-KB count after each change; may be nil.
 	onOpenCount func(n int)
 
-	mu      sync.Mutex
+	// baseCtx bounds the manager's background work: the janitor exits
+	// when it is canceled, even if Close is never reached.
+	baseCtx context.Context
+
+	mu sync.Mutex
+	//kdb:guarded-by mu
 	tenants map[string]*tenant
+	//kdb:guarded-by mu
 	closed  bool
 	stop    chan struct{}
 	janitor sync.WaitGroup
 }
 
 // newManager builds a Manager; newKB opens or creates the KB for a
-// tenant name (the manager serializes calls to it per name).
-func newManager(root string, maxOpen int, idle time.Duration, newKB func(string) (*kb.KB, error)) *Manager {
+// tenant name (the manager serializes calls to it per name). ctx
+// bounds the janitor goroutine's lifetime alongside Close.
+func newManager(ctx context.Context, root string, maxOpen int, idle time.Duration, newKB func(string) (*kb.KB, error)) *Manager {
 	m := &Manager{
 		root:    root,
 		maxOpen: maxOpen,
 		idle:    idle,
 		newKB:   newKB,
+		baseCtx: ctx,
 		tenants: make(map[string]*tenant),
 		stop:    make(chan struct{}),
 	}
@@ -130,6 +139,8 @@ func (m *Manager) Acquire(name string) (*kb.KB, func(), error) {
 
 // makeRoomLocked evicts the least-recently-used idle tenant when the
 // open-KB bound is reached. Callers hold m.mu.
+//
+//kdb:locked mu
 func (m *Manager) makeRoomLocked() error {
 	if m.maxOpen <= 0 || len(m.tenants) < m.maxOpen {
 		return nil
@@ -151,6 +162,8 @@ func (m *Manager) makeRoomLocked() error {
 }
 
 // evictLocked closes and forgets one idle tenant. Callers hold m.mu.
+//
+//kdb:locked mu
 func (m *Manager) evictLocked(t *tenant) {
 	delete(m.tenants, t.name)
 	// Close waits for in-flight queries; refs == 0 guarantees none are
@@ -184,6 +197,8 @@ func (m *Manager) runJanitor() {
 	for {
 		select {
 		case <-m.stop:
+			return
+		case <-m.baseCtx.Done():
 			return
 		case <-ticker.C:
 			m.sweep()

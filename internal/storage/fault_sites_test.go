@@ -1,0 +1,109 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kdb/internal/fault"
+	"kdb/internal/term"
+)
+
+// TestWALRewindFaultPoisonsLog arms storage/wal.rewind so the
+// truncate-to-durable recovery after a failed append itself fails: the
+// log must come out poisoned (sticky ErrDurability on every later
+// append), because the on-disk state past the durable offset is
+// unknown.
+func TestWALRewindFaultPoisonsLog(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	insertNames(t, s, "a")
+
+	// First fault fails the append's flush; second fails the rewind.
+	if err := fault.Enable(fault.SiteWALFlush, fault.Outcome{Err: fault.ErrInjected}, fault.Policy{Times: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Enable(fault.SiteWALRewind, fault.Outcome{Err: fault.ErrInjected}, fault.Policy{Times: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert("p", Tuple{term.Sym("b")}); !errors.Is(err, ErrDurability) {
+		t.Fatalf("append with failed flush: want ErrDurability, got %v", err)
+	}
+	if err := s.DurabilityErr(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("failed rewind must poison the log, got %v", err)
+	}
+	// The poison is sticky: later appends fail without touching disk.
+	if _, err := s.Insert("p", Tuple{term.Sym("c")}); !errors.Is(err, ErrDurability) {
+		t.Fatalf("append on poisoned log: want ErrDurability, got %v", err)
+	}
+}
+
+// TestWALRewindSucceedsWithoutFault is the control: with only the
+// flush fault armed, the rewind runs, the log stays healthy, and the
+// next append succeeds.
+func TestWALRewindSucceedsWithoutFault(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := fault.Enable(fault.SiteWALFlush, fault.Outcome{Err: fault.ErrInjected}, fault.Policy{Times: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert("p", Tuple{term.Sym("a")}); !errors.Is(err, ErrDurability) {
+		t.Fatalf("append with failed flush: want ErrDurability, got %v", err)
+	}
+	if err := s.DurabilityErr(); err != nil {
+		t.Fatalf("clean rewind must not poison the log, got %v", err)
+	}
+	if _, err := s.Insert("p", Tuple{term.Sym("b")}); err != nil {
+		t.Fatalf("append after clean rewind: %v", err)
+	}
+}
+
+// TestSnapshotSweepFaultIsTolerated arms storage/snapshot.sweep: a
+// failed orphan sweep must not fail Open — the orphan simply survives
+// to the next open, which (disarmed) removes it.
+func TestSnapshotSweepFaultIsTolerated(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	dir := t.TempDir()
+	orphan := filepath.Join(dir, "kdb.snap.tmp42")
+	if err := os.WriteFile(orphan, []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Enable(fault.SiteSnapshotSweep, fault.Outcome{Err: fault.ErrInjected}, fault.Policy{Times: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open with failed sweep must succeed, got %v", err)
+	}
+	insertNames(t, s, "a")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); err != nil {
+		t.Fatalf("faulted sweep should have skipped the orphan, stat: %v", err)
+	}
+
+	// Next open runs disarmed: the orphan is gone and the data intact.
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("second open should have swept the orphan, stat err=%v", err)
+	}
+	if got := factNames(s); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("recovered facts = %v, want [a]", got)
+	}
+}

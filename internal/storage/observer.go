@@ -29,6 +29,10 @@ type obsBox struct{ o Observer }
 // Store and its WAL.
 type observerHolder struct{ p atomic.Pointer[obsBox] }
 
+// get returns the current Observer, or nil. It runs on every WAL
+// append, so it must stay a bare atomic load.
+//
+//kdb:hotpath
 func (h *observerHolder) get() Observer {
 	if h == nil {
 		return nil

@@ -25,7 +25,8 @@ var ErrDurability = errors.New("storage: durability failure")
 // every insert is appended to a write-ahead log and Checkpoint folds the
 // log into a snapshot. All methods are safe for concurrent use.
 type Store struct {
-	mu   sync.RWMutex
+	mu sync.RWMutex
+	//kdb:guarded-by mu
 	rels map[string]*Relation
 
 	dir string // empty for in-memory stores
@@ -78,6 +79,12 @@ func Open(dir string) (*Store, error) {
 // rename leaves the file on disk — and without this sweep such
 // orphans would accumulate across restarts.
 func removeSnapshotOrphans(dir string) {
+	// Best-effort: an injected fault models an unreadable directory or
+	// failed unlink; the orphan then simply survives until the next
+	// open, which the faultsite suite proves is harmless.
+	if fault.Inject(fault.SiteSnapshotSweep) != nil {
+		return
+	}
 	matches, err := filepath.Glob(filepath.Join(dir, "kdb.snap.tmp*"))
 	if err != nil {
 		return
@@ -285,10 +292,8 @@ func (s *Store) Checkpoint() error {
 	// The crash window: the snapshot is published but the log still
 	// holds the pre-checkpoint records. Recovery from here is safe —
 	// replaying the old log over the new snapshot is idempotent — and
-	// the chaos tests prove it by injecting a fault at this site.
-	if err := fault.Inject(fault.SiteCheckpointReset); err != nil {
-		return durabilityErr("checkpoint", err)
-	}
+	// the chaos tests prove it by arming checkpoint.reset (the
+	// failpoint lives at the top of wal.reset, before any truncation).
 	if err := s.wal.reset(); err != nil {
 		return durabilityErr("checkpoint", err)
 	}

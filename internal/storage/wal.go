@@ -102,10 +102,12 @@ type wal struct {
 	// durable is the file offset up to which every record is known fully
 	// written and synced. A failed append rewinds the log to this
 	// boundary so a partial frame never prefixes later records.
+	//kdb:guarded-by mu
 	durable int64
 	// failed, once set, poisons the log: the rewind after a failed
 	// append itself failed, so the on-disk/in-buffer state is unknown
 	// and every later append returns this error.
+	//kdb:guarded-by mu
 	failed error
 	// obs, when non-nil, points at the owning store's observer slot;
 	// append and fsync latencies are reported through it.
@@ -304,6 +306,8 @@ func (w *wal) appendPayload(payload []byte) error {
 // it would after a real crash: the torn tail is truncated at the next
 // open. Every other outcome takes the production error path through
 // recoverLocked (or returns nil for latency-only outcomes).
+//
+//kdb:locked mu
 func (w *wal) injectAppendFault(o *fault.Outcome, payload []byte) error {
 	if o.TornBytes > 0 {
 		var frame bytes.Buffer
@@ -330,14 +334,23 @@ func (w *wal) injectAppendFault(o *fault.Outcome, payload []byte) error {
 // recoverLocked rewinds the log to the last durable boundary after a
 // failed append: the file is truncated to the durable offset and the
 // buffered writer is reset so the partial frame's bytes are dropped.
-// If the rewind fails the log is poisoned.
+// If the rewind fails the log is poisoned. Both failure paths wrap the
+// rewind error with %w alongside the original cause, so errors.Is
+// still reaches whatever the filesystem reported (the errwrap
+// analyzer holds this line).
+//
+//kdb:locked mu
 func (w *wal) recoverLocked(cause error) {
-	if err := w.f.Truncate(w.durable); err != nil {
-		w.failed = fmt.Errorf("%w (rewind truncate failed: %v)", cause, err)
+	err := fault.Inject(fault.SiteWALRewind)
+	if err == nil {
+		err = w.f.Truncate(w.durable)
+	}
+	if err != nil {
+		w.failed = fmt.Errorf("%w (rewind truncate failed: %w)", cause, err)
 		return
 	}
 	if _, err := w.f.Seek(w.durable, io.SeekStart); err != nil {
-		w.failed = fmt.Errorf("%w (rewind seek failed: %v)", cause, err)
+		w.failed = fmt.Errorf("%w (rewind seek failed: %w)", cause, err)
 		return
 	}
 	w.w.Reset(w.f)
@@ -381,6 +394,12 @@ func (w *wal) flushLocked() error {
 func (w *wal) reset() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	// The checkpoint crash window: a fault here fires after the caller
+	// published the snapshot but before the old log is destroyed, so
+	// recovery sees both. Nothing is truncated yet — no poison.
+	if err := fault.Inject(fault.SiteCheckpointReset); err != nil {
+		return err
+	}
 	w.w.Reset(w.f) // drop any buffered partial frame
 	if err := w.f.Truncate(0); err != nil {
 		w.failed = fmt.Errorf("storage: wal reset truncate: %w", err)
