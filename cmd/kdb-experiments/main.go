@@ -9,7 +9,7 @@
 // Usage:
 //
 //	kdb-experiments [-data testdata]
-//	kdb-experiments -bench BENCH_PR6.json [-bench-iters N]
+//	kdb-experiments -bench BENCH_PR9.json [-bench-iters N]
 //
 // With -bench, a fixed set of query workloads runs instead and a JSON
 // report lands in the named file: per-workload iteration counts, total
@@ -311,7 +311,7 @@ type benchResult struct {
 	Metrics       []kdb.MetricPoint `json:"metrics"`
 }
 
-// benchReport is the top-level BENCH_PR6.json document. Workloads run
+// benchReport is the top-level BENCH_PR9.json document. Workloads run
 // the library path (direct ExecString calls); ServerWorkloads run the
 // same statements through the `kdb serve` HTTP data plane, so the two
 // sections bracket the cost of the server layer.
@@ -341,13 +341,19 @@ func benchWorkloads() []benchWorkload {
 			Query: `retrieve reachable(la, Y).`},
 		{ID: "explain-reachable", Kind: "explain", setup: routesSetup,
 			Query: `explain reachable(la, Y).`},
+		// Profiling overhead pair: the same recursive closure with
+		// per-rule cost accounting on. Comparing
+		// retrieve-reachable-baseline against profile-reachable isolates
+		// what the profiler costs.
+		{ID: "profile-reachable", Kind: "profile", setup: routesSetup,
+			Query: `profile reachable(la, Y).`},
 	}
 }
 
 // runBench executes every workload iters times over a fresh KB with a
 // fresh metrics registry and writes the JSON report to path.
 func runBench(dataDir, path string, iters int, out io.Writer) error {
-	report := benchReport{Bench: "PR6", Go: runtime.Version()}
+	report := benchReport{Bench: "PR9", Go: runtime.Version()}
 	for _, w := range benchWorkloads() {
 		reg := kdb.NewMetricsRegistry()
 		saved := kbOptions

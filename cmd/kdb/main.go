@@ -7,6 +7,7 @@
 //	kdb [flags] [program.kdb ...]
 //	kdb check [-json] [-strict] program.kdb ...
 //	kdb serve [-addr HOST:PORT] [-root DIR] [-max-open N] [-idle DUR] ...
+//	kdb top [-addr URL] [-interval DUR] [-once] [-cancel ID]
 //
 // The serve subcommand exposes named knowledge bases over HTTP+JSON:
 // multi-tenant (one store per name under -root, or in-memory), with
@@ -61,6 +62,9 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	if len(args) > 0 && args[0] == "serve" {
 		return runServe(args[1:], out)
 	}
+	if len(args) > 0 && args[0] == "top" {
+		return runTop(args[1:], out)
+	}
 	fs := flag.NewFlagSet("kdb", flag.ContinueOnError)
 	var (
 		dbDir    = fs.String("db", "", "durable database directory (default: in-memory)")
@@ -79,7 +83,10 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		debugAddr   = fs.String("debug-addr", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (e.g. localhost:6060)")
 		queryLog    = fs.String("query-log", "", "append one JSONL record per query to FILE (statement, kind, latency, stop reason, eval deltas)")
 		slowQuery   = fs.Duration("slow-query", 0, "with -query-log, log only queries at least this slow (0 = every query)")
+		qlogMaxMB   = fs.Int("query-log-max-mb", 0, "rotate the query log when it would exceed this many MB (0 = never)")
+		qlogKeep    = fs.Int("query-log-keep", 3, "rotated query-log files to keep (FILE.1 .. FILE.N)")
 		maxProv     = fs.Int("max-prov", 0, "per-query provenance-witness limit for explain (0 = unlimited)")
+		profileOn   = fs.Bool("profile", false, "profile every retrieve: print the per-rule cost breakdown after the answers")
 	)
 	fs.SetOutput(out)
 	if err := fs.Parse(args); err != nil {
@@ -95,14 +102,15 @@ func run(args []string, in io.Reader, out io.Writer) error {
 		}),
 	}
 
-	// Structured query log: one JSONL line per query (or only slow ones).
+	// Structured query log: one JSONL line per query (or only slow
+	// ones), size-rotated when -query-log-max-mb is set.
 	if *queryLog != "" {
-		f, err := os.OpenFile(*queryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		w, err := openQueryLog(*queryLog, *qlogMaxMB, *qlogKeep)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		opts = append(opts, kdb.WithQueryLog(kdb.NewQueryLog(f, *slowQuery)))
+		defer w.Close()
+		opts = append(opts, kdb.WithQueryLog(kdb.NewQueryLog(w, *slowQuery)))
 	}
 
 	// Tracing: spans stream to the trace file as each query finishes
@@ -167,6 +175,9 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	if err := k.SetEngine(kdb.EngineKind(*engine)); err != nil {
 		return err
 	}
+	if *profileOn {
+		k.SetProfiling(true)
+	}
 	sh := &shell{k: k, stats: *stats || *statsJSON, statsJSON: *statsJSON, tracer: tracer, fileTrace: fileTrace}
 
 	// Ctrl-C cancels the in-flight query instead of killing the process;
@@ -220,6 +231,15 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 
 	return sh.repl(in, out, *quiet)
+}
+
+// openQueryLog opens the query-log sink: a plain append file, or a
+// size-rotated writer (FILE → FILE.1 → … → FILE.keep) when maxMB > 0.
+func openQueryLog(path string, maxMB, keep int) (io.WriteCloser, error) {
+	if maxMB > 0 {
+		return kdb.NewRotatingWriter(path, maxMB, keep)
+	}
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 }
 
 // checkedFile is the per-file outcome of `kdb check`, shaped for both
@@ -421,7 +441,7 @@ func (sh *shell) repl(in io.Reader, out io.Writer, quiet bool) error {
 func (sh *shell) execute(stmt string, out io.Writer) {
 	k := sh.k
 	trimmed := strings.TrimSpace(stmt)
-	for _, kw := range []string{"retrieve", "describe", "compare", "explain"} {
+	for _, kw := range []string{"retrieve", "describe", "compare", "explain", "profile"} {
 		if strings.HasPrefix(trimmed, kw) {
 			before := k.LastStats()
 			ctx, done := sh.queryContext()
@@ -458,8 +478,8 @@ func isMetaLine(line string) bool {
 // unknown-command message.
 var metaNames = []string{
 	".check", ".checkpoint", ".engine", ".exit", ".explain", ".help",
-	".intensional", ".load", ".parallel", ".preds", ".provenance",
-	".quit", ".rules", ".stats", ".trace", ".validate",
+	".intensional", ".load", ".parallel", ".preds", ".profile",
+	".provenance", ".quit", ".rules", ".stats", ".trace", ".validate",
 }
 
 // onOff renders a toggle's current state.
@@ -503,6 +523,7 @@ func (sh *shell) metaCommand(line string, out io.Writer) (quit bool) {
   describe honor(X) where p(X) or q(X).             disjunctive hypothesis
   compare (describe honor(X)) with (describe deans_list(X)).
   explain reachable(sfo, cdg).                      why is this fact derivable?
+  profile reachable(sfo, X).                        per-rule cost breakdown
 meta commands:
   .load FILE     load a program file
   .rules         list the IDB rules
@@ -512,6 +533,7 @@ meta commands:
   .engine NAME   switch retrieve engine (naive, seminaive, topdown, magic)
   .parallel N    bottom-up evaluation workers (0 = GOMAXPROCS)
   .stats [on|off]   print evaluation statistics after each retrieve
+  .profile [on|off] profile every retrieve (per-rule cost breakdown)
   .trace [on|off]   print a span tree (parse/analyze/eval/describe) after each query
   .intensional [on|off]   answer data queries with knowledge attached
 provenance:
@@ -594,6 +616,16 @@ other:
 			sh.stats = val
 		}
 		fmt.Fprintln(out, "stats:", onOff(sh.stats))
+	case ".profile":
+		val, set, ok := parseToggle(fields, k.Profiling())
+		if !ok {
+			fmt.Fprintln(out, "usage: .profile [on|off]")
+			return false
+		}
+		if set {
+			k.SetProfiling(val)
+		}
+		fmt.Fprintln(out, "profile:", onOff(k.Profiling()))
 	case ".trace":
 		val, set, ok := parseToggle(fields, sh.traceTree)
 		if !ok {

@@ -44,6 +44,8 @@ func runServe(args []string, out io.Writer) error {
 
 		queryLog  = fs.String("query-log", "", "append one JSONL record per query to FILE (includes tenant and client)")
 		slowQuery = fs.Duration("slow-query", 0, "with -query-log, log only queries at least this slow")
+		qlogMaxMB = fs.Int("query-log-max-mb", 0, "rotate the query log when it would exceed this many MB (0 = never)")
+		qlogKeep  = fs.Int("query-log-keep", 3, "rotated query-log files to keep (FILE.1 .. FILE.N)")
 		quiet     = fs.Bool("q", false, "suppress the startup banner")
 	)
 	fs.SetOutput(out)
@@ -72,6 +74,11 @@ func runServe(args []string, out io.Writer) error {
 		BreakerThreshold:  *brkFails,
 		BreakerCooldown:   *brkCooldown,
 		Registry:          kdb.NewMetricsRegistry(),
+		// Spans stay in the tracer's recent ring (nothing is exported),
+		// but the trace ids they issue — or adopt from an incoming W3C
+		// traceparent — link query-log records, latency exemplars, and
+		// /v1/debug/activity entries to the request that caused them.
+		Tracer: kdb.NewTracer(),
 		Ceiling: kdb.QueryLimits{
 			MaxWall:              *timeout,
 			MaxFacts:             *maxFacts,
@@ -80,12 +87,12 @@ func runServe(args []string, out io.Writer) error {
 		},
 	}
 	if *queryLog != "" {
-		f, err := os.OpenFile(*queryLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		w, err := openQueryLog(*queryLog, *qlogMaxMB, *qlogKeep)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		cfg.QueryLog = kdb.NewQueryLog(f, *slowQuery)
+		defer w.Close()
+		cfg.QueryLog = kdb.NewQueryLog(w, *slowQuery)
 	}
 	srv, err := kdb.NewServer(cfg)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 
 	"kdb/internal/governor"
 	"kdb/internal/obs"
+	"kdb/internal/obs/profile"
 	"kdb/internal/prov"
 	"kdb/internal/storage"
 	"kdb/internal/term"
@@ -21,6 +22,8 @@ type engineConfig struct {
 	workers int
 	limits  governor.Limits
 	rec     *prov.Recorder
+	prof    *profile.Profile
+	labels  map[string]profLabel
 }
 
 // EngineOption tunes an engine at construction.
@@ -76,6 +79,7 @@ func finishStats(stats *EvalStats, start time.Time, counters *storage.Counters, 
 	stats.Probes = counters.Probes.Load()
 	stats.Candidates = counters.Candidates.Load()
 	stats.IndexBuilds = counters.IndexBuilds.Load()
+	stats.FullScans = counters.FullScans.Load()
 	stats.StopReason = governor.StopReason(err)
 }
 
@@ -144,23 +148,25 @@ func (d *derived) empty() bool {
 	return true
 }
 
-// match resolves an atom against a derived relation.
-func (d *derived) match(a term.Atom, base term.Subst, fn func(term.Subst) bool) error {
+// match resolves an atom against a derived relation. A nil sink falls
+// back to the relation-attached counters.
+func (d *derived) match(a term.Atom, base term.Subst, c *storage.Counters, fn func(term.Subst) bool) error {
 	r := d.get(a.Pred)
 	if r == nil {
 		return nil
 	}
-	return matchRelation(r, a, base, fn)
+	return matchRelation(r, a, base, c, fn)
 }
 
 // matchRelation resolves an atom against one relation, extending base
-// with every successful match.
-func matchRelation(r *storage.Relation, a term.Atom, base term.Subst, fn func(term.Subst) bool) error {
+// with every successful match. The probe is charged to c (nil: the
+// relation-attached counters).
+func matchRelation(r *storage.Relation, a term.Atom, base term.Subst, c *storage.Counters, fn func(term.Subst) bool) error {
 	if r.Arity() != len(a.Args) {
 		return fmt.Errorf("eval: %s used with arity %d, derived with %d", a.Pred, len(a.Args), r.Arity())
 	}
 	pattern := base.Apply(a)
-	return r.Select(pattern.Args, func(t storage.Tuple) bool {
+	return r.SelectCounted(pattern.Args, c, func(t storage.Tuple) bool {
 		ext, ok := term.Match(pattern, term.Atom{Pred: a.Pred, Args: t}, base)
 		if !ok {
 			return true
@@ -203,6 +209,8 @@ type bottomUp struct {
 	workers   int
 	limits    governor.Limits
 	rec       *prov.Recorder
+	prof      *profile.Profile
+	labels    map[string]profLabel
 	stats     atomic.Pointer[EvalStats]
 }
 
@@ -211,7 +219,8 @@ type bottomUp struct {
 // correctness baseline the optimized engines are tested against.
 func NewNaive(in Input, opts ...EngineOption) Engine {
 	cfg := buildConfig(opts)
-	return &bottomUp{in: in, workers: cfg.workers, limits: cfg.limits, rec: cfg.rec}
+	return &bottomUp{in: in, workers: cfg.workers, limits: cfg.limits, rec: cfg.rec,
+		prof: cfg.prof, labels: cfg.labels}
 }
 
 // NewSemiNaive returns the semi-naive bottom-up engine: within each
@@ -221,7 +230,8 @@ func NewNaive(in Input, opts ...EngineOption) Engine {
 // concurrently.
 func NewSemiNaive(in Input, opts ...EngineOption) Engine {
 	cfg := buildConfig(opts)
-	return &bottomUp{in: in, seminaive: true, workers: cfg.workers, limits: cfg.limits, rec: cfg.rec}
+	return &bottomUp{in: in, seminaive: true, workers: cfg.workers, limits: cfg.limits, rec: cfg.rec,
+		prof: cfg.prof, labels: cfg.labels}
 }
 
 // Name identifies the engine.
@@ -283,6 +293,7 @@ func (e *bottomUp) RetrieveContext(ctx context.Context, q Query) (res *Result, e
 	evalSp.SetInt("workers", int64(e.workers))
 	evalSp.SetInt("components", int64(len(components)))
 	start := time.Now()
+	act := obs.ActivityFromContext(ctx)
 	evalOne := func(i, worker int) error {
 		comp := components[i]
 		cs := &stats.Components[i]
@@ -308,8 +319,9 @@ func (e *bottomUp) RetrieveContext(ctx context.Context, q Query) (res *Result, e
 		csp.SetWorker(worker)
 		csp.SetStr("preds", strings.Join(comp, " "))
 		t0 := time.Now()
-		err := e.evalComponent(p, d, gov, comp, cs)
+		err := e.evalComponent(p, d, gov, comp, cs, act)
 		cs.Wall = time.Since(t0)
+		act.AddProgress(0, cs.Lookups)
 		csp.SetInt("iterations", int64(cs.Iterations))
 		csp.SetInt("facts", int64(cs.Facts))
 		csp.SetInt("lookups", int64(cs.Lookups))
@@ -330,6 +342,10 @@ func (e *bottomUp) RetrieveContext(ctx context.Context, q Query) (res *Result, e
 	}
 	finishStats(stats, start, counters, runErr)
 	stats.ProvEntries = e.rec.Len() - provStart
+	if e.prof != nil {
+		e.prof.SetEngine(e.Name())
+		e.prof.SetWall(stats.Wall)
+	}
 	e.stats.Store(stats)
 	endEvalSpan(evalSp, sp, stats)
 	if runErr != nil {
@@ -363,18 +379,25 @@ func endEvalSpan(evalSp, parent *obs.Span, stats *EvalStats) {
 // the derived relation so no substitution is fed twice. Each lookup
 // performs one amortized governor check, which bounds the cancellation
 // latency of even a single very large fixpoint round.
-func (e *bottomUp) fullLookup(d *derived, gov *governor.Governor, cs *ComponentStats) lookup {
+func (e *bottomUp) fullLookup(d *derived, gov *governor.Governor, cs *ComponentStats, rp *ruleProfiler) lookup {
 	return func(a term.Atom, base term.Subst, fn func(term.Subst) bool) error {
 		cs.Lookups++
+		rp.countLookup()
 		if err := gov.Tick(); err != nil {
 			return err
 		}
+		// With profiling on, probes are charged to the current rule's
+		// sink, which chains onto the query-wide counters.
+		c := d.counters
+		if rc := rp.storageCounters(); rc != nil {
+			c = rc
+		}
 		rel := d.get(a.Pred)
 		if rel == nil {
-			return e.in.Store.MatchCounted(a, base, d.counters, fn)
+			return e.in.Store.MatchCounted(a, base, c, fn)
 		}
 		stopped := false
-		if err := matchRelation(rel, a, base, func(s term.Subst) bool {
+		if err := matchRelation(rel, a, base, c, func(s term.Subst) bool {
 			if !fn(s) {
 				stopped = true
 				return false
@@ -386,7 +409,7 @@ func (e *bottomUp) fullLookup(d *derived, gov *governor.Governor, cs *ComponentS
 		if stopped {
 			return nil
 		}
-		return matchStoreExcept(e.in.Store, a, base, rel, d.counters, fn)
+		return matchStoreExcept(e.in.Store, a, base, rel, c, fn)
 	}
 }
 
@@ -394,7 +417,7 @@ func (e *bottomUp) fullLookup(d *derived, gov *governor.Governor, cs *ComponentS
 // single goroutine; under parallel evaluation the scheduler guarantees
 // every component it depends on has completed, so the only relations
 // that grow during the run are the component's own.
-func (e *bottomUp) evalComponent(p *plan, d *derived, gov *governor.Governor, comp []string, cs *ComponentStats) error {
+func (e *bottomUp) evalComponent(p *plan, d *derived, gov *governor.Governor, comp []string, cs *ComponentStats, act *obs.Activity) error {
 	inComp := make(map[string]bool, len(comp))
 	for _, pred := range comp {
 		inComp[pred] = true
@@ -412,18 +435,23 @@ func (e *bottomUp) evalComponent(p *plan, d *derived, gov *governor.Governor, co
 		}
 	}
 	cs.Recursive = recursive
-	full := e.fullLookup(d, gov, cs)
+	var rp *ruleProfiler
+	if e.prof != nil {
+		rp = newRuleProfiler(e.prof, e.labels, d.counters)
+	}
+	full := e.fullLookup(d, gov, cs, rp)
 
 	// First round: apply every rule once against the current state.
 	delta := newDerived(d.counters)
 	fresh := 0
-	err := applyRules(rules, full, func(fact term.Atom, rule term.Rule, s term.Subst) error {
+	err := applyRules(rules, full, rp, func(fact term.Atom, rule term.Rule, s term.Subst) error {
 		added, err := d.insert(fact)
 		if err != nil {
 			return err
 		}
 		if added {
 			fresh++
+			rp.fresh()
 			if err := gov.CountFacts(1); err != nil {
 				return err
 			}
@@ -441,6 +469,9 @@ func (e *bottomUp) evalComponent(p *plan, d *derived, gov *governor.Governor, co
 	cs.Iterations = 1
 	cs.Facts = fresh
 	cs.DeltaSizes = append(cs.DeltaSizes, fresh)
+	// Facts stream to the activity entry per round, not per component,
+	// so a long recursive fixpoint shows movement in `kdb top`.
+	act.AddProgress(int64(fresh), 0)
 	if err != nil {
 		return err
 	}
@@ -468,6 +499,7 @@ func (e *bottomUp) evalComponent(p *plan, d *derived, gov *governor.Governor, co
 			}
 			if added {
 				grew++
+				rp.fresh()
 				if err := gov.CountFacts(1); err != nil {
 					return err
 				}
@@ -482,13 +514,14 @@ func (e *bottomUp) evalComponent(p *plan, d *derived, gov *governor.Governor, co
 		}
 		var err error
 		if e.seminaive {
-			err = applyRulesSemiNaive(rules, inComp, full, delta, gov, sink)
+			err = applyRulesSemiNaive(rules, inComp, full, delta, gov, rp, sink)
 		} else {
-			err = applyRules(rules, full, sink)
+			err = applyRules(rules, full, rp, sink)
 		}
 		cs.Iterations++
 		cs.Facts += grew
 		cs.DeltaSizes = append(cs.DeltaSizes, grew)
+		act.AddProgress(int64(grew), 0)
 		if err != nil {
 			return err
 		}
@@ -516,9 +549,11 @@ func recordProv(rec *prov.Recorder, gov *governor.Governor, fact term.Atom, rule
 }
 
 // applyRules derives the immediate consequences of the rules under the
-// lookup and feeds each derived ground head to sink.
-func applyRules(rules []term.Rule, lk lookup, sink deriveSink) error {
+// lookup and feeds each derived ground head to sink. Each rule's round
+// is bracketed by the profiler (nil-safe when profiling is off).
+func applyRules(rules []term.Rule, lk lookup, rp *ruleProfiler, sink deriveSink) error {
 	for _, r := range rules {
+		rp.begin(r)
 		var derr error
 		_, err := solveBody(r.Body, nil, lk, func(s term.Subst) bool {
 			head := s.Apply(r.Head)
@@ -535,6 +570,7 @@ func applyRules(rules []term.Rule, lk lookup, sink deriveSink) error {
 			}
 			return true
 		})
+		rp.end()
 		if err != nil {
 			return err
 		}
@@ -549,7 +585,7 @@ func applyRules(rules []term.Rule, lk lookup, sink deriveSink) error {
 // body atom is resolved against the delta of the previous iteration. For
 // a rule with k recursive occurrences it evaluates k differentiated
 // variants, pinning occurrence i to the delta.
-func applyRulesSemiNaive(rules []term.Rule, inComp map[string]bool, full lookup, delta *derived, gov *governor.Governor, sink deriveSink) error {
+func applyRulesSemiNaive(rules []term.Rule, inComp map[string]bool, full lookup, delta *derived, gov *governor.Governor, rp *ruleProfiler, sink deriveSink) error {
 	for _, r := range rules {
 		var recIdx []int
 		for i, a := range r.Body {
@@ -560,10 +596,11 @@ func applyRulesSemiNaive(rules []term.Rule, inComp map[string]bool, full lookup,
 		if len(recIdx) == 0 {
 			continue // non-recursive rules contribute nothing new after round one
 		}
+		rp.begin(r)
 		for _, pin := range recIdx {
 			pinned := pin
 			var derr error
-			_, err := solveBodyPinned(r.Body, pinned, full, delta, gov, nil, func(s term.Subst) bool {
+			_, err := solveBodyPinned(r.Body, pinned, full, delta, gov, rp, nil, func(s term.Subst) bool {
 				head := s.Apply(r.Head)
 				if !head.IsGround() {
 					derr = fmt.Errorf("eval: derived non-ground fact %v from %v", head, r)
@@ -579,19 +616,22 @@ func applyRulesSemiNaive(rules []term.Rule, inComp map[string]bool, full lookup,
 				return true
 			})
 			if err != nil {
+				rp.end()
 				return err
 			}
 			if derr != nil {
+				rp.end()
 				return derr
 			}
 		}
+		rp.end()
 	}
 	return nil
 }
 
 // solveBodyPinned is solveBody with one body occurrence (by original
 // index) resolved against the delta relations instead of the full ones.
-func solveBodyPinned(body []term.Atom, pin int, full lookup, delta *derived, gov *governor.Governor, base term.Subst, fn func(term.Subst) bool) (bool, error) {
+func solveBodyPinned(body []term.Atom, pin int, full lookup, delta *derived, gov *governor.Governor, rp *ruleProfiler, base term.Subst, fn func(term.Subst) bool) (bool, error) {
 	type tagged struct {
 		atom   term.Atom
 		pinned bool
@@ -638,7 +678,10 @@ func solveBodyPinned(body []term.Atom, pin int, full lookup, delta *derived, gov
 				if err := gov.Tick(); err != nil {
 					return err
 				}
-				return delta.match(a, b, f)
+				// rp.storageCounters() is nil when profiling is off; the
+				// delta relation then falls back to its attached (query-
+				// wide) counters.
+				return delta.match(a, b, rp.storageCounters(), f)
 			}
 		}
 		cont := true

@@ -9,6 +9,7 @@ import (
 
 	"kdb/internal/governor"
 	"kdb/internal/obs"
+	"kdb/internal/obs/profile"
 	"kdb/internal/prov"
 	"kdb/internal/term"
 )
@@ -41,6 +42,7 @@ type magic struct {
 	workers int
 	limits  governor.Limits
 	rec     *prov.Recorder
+	prof    *profile.Profile
 	stats   atomic.Pointer[EvalStats]
 }
 
@@ -52,7 +54,7 @@ type magic struct {
 // other engines.
 func NewMagic(in Input, opts ...EngineOption) Engine {
 	cfg := buildConfig(opts)
-	return &magic{in: in, workers: cfg.workers, limits: cfg.limits, rec: cfg.rec}
+	return &magic{in: in, workers: cfg.workers, limits: cfg.limits, rec: cfg.rec, prof: cfg.prof}
 }
 
 // Name identifies the engine.
@@ -84,7 +86,7 @@ func (e *magic) RetrieveContext(ctx context.Context, q Query) (res *Result, err 
 		return nil, err
 	}
 	rsp := sp.Child("magic-rewrite")
-	rewritten, queryPred, err := magicRewrite(p)
+	rewritten, queryPred, labels, err := magicRewrite(p)
 	rsp.SetInt("rules", int64(len(rewritten)))
 	rsp.End()
 	if err != nil {
@@ -92,7 +94,8 @@ func (e *magic) RetrieveContext(ctx context.Context, q Query) (res *Result, err 
 	}
 	inner := Input{Store: e.in.Store, Rules: rewritten}
 	engine := NewSemiNaive(inner, WithWorkers(e.workers), WithLimits(e.limits),
-		WithProvenance(e.rec.Rewritten(magicProvRewrite)))
+		WithProvenance(e.rec.Rewritten(magicProvRewrite)),
+		WithProfile(e.prof), withProfileLabels(labels))
 	res, err = engine.RetrieveContext(ctx, Query{
 		Subject: term.NewAtom(queryPred, p.vars...),
 	})
@@ -103,6 +106,10 @@ func (e *magic) RetrieveContext(ctx context.Context, q Query) (res *Result, err 
 			st.Engine = e.Name()
 			e.stats.Store(st)
 		}
+	}
+	// The inner run stamped the profile "seminaive"; the user asked magic.
+	if e.prof != nil {
+		e.prof.SetEngine(e.Name())
 	}
 	if err != nil {
 		return nil, err
@@ -143,8 +150,11 @@ func magicName(pred string, a adornment) string {
 }
 
 // magicRewrite produces the adorned + magic program for the plan's query
-// rule, and the name of the adorned query predicate.
-func magicRewrite(p *plan) ([]term.Rule, string, error) {
+// rule, the name of the adorned query predicate, and a profiling relabel
+// table mapping each generated rule back to its source rule (magic
+// guards, seeds, and the adorned query rule are marked synthetic) so
+// profiles of a magic run read in terms of the user's program.
+func magicRewrite(p *plan) ([]term.Rule, string, map[string]profLabel, error) {
 	idb := make(map[string]bool)
 	for _, r := range p.rules {
 		idb[r.Head.Pred] = true
@@ -155,6 +165,7 @@ func magicRewrite(p *plan) ([]term.Rule, string, error) {
 		a    adornment
 	}
 	var out []term.Rule
+	labels := make(map[string]profLabel)
 	seen := map[string]bool{}
 	var queue []job
 
@@ -163,7 +174,9 @@ func magicRewrite(p *plan) ([]term.Rule, string, error) {
 	queryAd := adornment(strings.Repeat("f", len(p.rule.Head.Args)))
 	queue = append(queue, job{queryPredName, queryAd})
 	seen[adornedName(queryPredName, queryAd)] = true
-	out = append(out, term.Rule{Head: term.NewAtom(magicName(queryPredName, queryAd))})
+	seed := term.Rule{Head: term.NewAtom(magicName(queryPredName, queryAd))}
+	out = append(out, seed)
+	labels[seed.String()] = profLabel{label: seed.String(), pred: seed.Head.Pred, synthetic: true}
 
 	enqueue := func(pred string, a adornment) {
 		key := adornedName(pred, a)
@@ -179,12 +192,26 @@ func magicRewrite(p *plan) ([]term.Rule, string, error) {
 		for _, r := range p.graph.RulesFor(j.pred) {
 			rules, err := adornRule(r, j.a, idb, enqueue)
 			if err != nil {
-				return nil, "", err
+				return nil, "", nil, err
+			}
+			// adornRule returns the supplementary magic rules first and
+			// the adorned source rule last: the adorned rule profiles
+			// under its source text, the machinery as synthetic.
+			for i, g := range rules {
+				if i == len(rules)-1 {
+					labels[g.String()] = profLabel{
+						label:     r.String(),
+						pred:      r.Head.Pred,
+						synthetic: r.Head.Pred == queryPredName,
+					}
+				} else {
+					labels[g.String()] = profLabel{label: g.String(), pred: g.Head.Pred, synthetic: true}
+				}
 			}
 			out = append(out, rules...)
 		}
 	}
-	return out, adornedName(queryPredName, queryAd), nil
+	return out, adornedName(queryPredName, queryAd), labels, nil
 }
 
 // adornRule rewrites one rule for the head adornment: the guarded adorned
@@ -340,7 +367,7 @@ func MagicProgram(in Input, q Query) ([]term.Rule, error) {
 	if err != nil {
 		return nil, err
 	}
-	rules, _, err := magicRewrite(p)
+	rules, _, _, err := magicRewrite(p)
 	if err != nil {
 		return nil, err
 	}

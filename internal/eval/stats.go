@@ -53,7 +53,10 @@ type EvalStats struct {
 	// Probes, Candidates, and IndexBuilds aggregate the storage-level
 	// counters of every relation the evaluation touched: Select calls
 	// served, candidate tuples examined, and hash indexes built.
+	// FullScans counts the probes that had no usable index and walked
+	// the full extension (Probes - FullScans were index-served).
 	Probes      int64 `json:"probes"`
+	FullScans   int64 `json:"full_scans,omitempty"`
 	Candidates  int64 `json:"candidates"`
 	IndexBuilds int64 `json:"index_builds"`
 	// ProvEntries is the number of why-provenance witnesses this
@@ -78,8 +81,8 @@ type StatsReporter interface {
 // by one line per evaluated component.
 func (s *EvalStats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "engine=%s workers=%d wall=%s facts=%d lookups=%d probes=%d candidates=%d index-builds=%d",
-		s.Engine, s.Workers, s.Wall.Round(time.Microsecond), s.Facts, s.Lookups, s.Probes, s.Candidates, s.IndexBuilds)
+	fmt.Fprintf(&b, "engine=%s workers=%d wall=%s facts=%d lookups=%d probes=%d (scan %d) candidates=%d index-builds=%d",
+		s.Engine, s.Workers, s.Wall.Round(time.Microsecond), s.Facts, s.Lookups, s.Probes, s.FullScans, s.Candidates, s.IndexBuilds)
 	if s.StopReason != "" {
 		fmt.Fprintf(&b, " stop=%s", s.StopReason)
 	}

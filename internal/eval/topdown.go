@@ -9,6 +9,7 @@ import (
 
 	"kdb/internal/governor"
 	"kdb/internal/obs"
+	"kdb/internal/obs/profile"
 	"kdb/internal/prov"
 	"kdb/internal/storage"
 	"kdb/internal/term"
@@ -24,15 +25,16 @@ type topDown struct {
 	in     Input
 	limits governor.Limits
 	rec    *prov.Recorder
+	prof   *profile.Profile
 	stats  atomic.Pointer[EvalStats]
 }
 
 // NewTopDown returns the tabled top-down engine. It ignores WithWorkers
 // (tabling shares one answer-table space across the whole resolution)
-// but honors WithLimits and WithProvenance.
+// but honors WithLimits, WithProvenance, and WithProfile.
 func NewTopDown(in Input, opts ...EngineOption) Engine {
 	cfg := buildConfig(opts)
-	return &topDown{in: in, limits: cfg.limits, rec: cfg.rec}
+	return &topDown{in: in, limits: cfg.limits, rec: cfg.rec, prof: cfg.prof}
 }
 
 // Name identifies the engine.
@@ -61,6 +63,7 @@ type topDownRun struct {
 	grew     bool
 	counters *storage.Counters
 	lookups  int64
+	prof     *ruleProfiler
 }
 
 // Retrieve evaluates the query goal-directed to completion (no
@@ -98,6 +101,9 @@ func (e *topDown) RetrieveContext(ctx context.Context, q Query) (res *Result, er
 		tables:   make(map[string]*table),
 		counters: &storage.Counters{},
 	}
+	if e.prof != nil {
+		run.prof = newRuleProfiler(e.prof, nil, run.counters)
+	}
 	provStart := e.rec.Len()
 	for _, r := range p.rules {
 		run.graph[r.Head.Pred] = append(run.graph[r.Head.Pred], r)
@@ -107,6 +113,7 @@ func (e *topDown) RetrieveContext(ctx context.Context, q Query) (res *Result, er
 	evalSp.SetStr("engine", e.Name())
 	evalSp.SetInt("workers", 1)
 	start := time.Now()
+	act := obs.ActivityFromContext(ctx)
 	// Naive-iteration driver: re-run until no table grows.
 	var runErr error
 	for {
@@ -120,6 +127,13 @@ func (e *topDown) RetrieveContext(ctx context.Context, q Query) (res *Result, er
 		run.grew = false
 		if runErr = run.solveTable(goal); runErr != nil {
 			break
+		}
+		if act != nil {
+			facts := int64(0)
+			for _, t := range run.tables {
+				facts += int64(t.answers.Len())
+			}
+			act.SetProgress(facts, run.lookups)
 		}
 		if !run.grew {
 			break
@@ -139,8 +153,13 @@ func (e *topDown) RetrieveContext(ctx context.Context, q Query) (res *Result, er
 	stats.Probes = run.counters.Probes.Load()
 	stats.Candidates = run.counters.Candidates.Load()
 	stats.IndexBuilds = run.counters.IndexBuilds.Load()
+	stats.FullScans = run.counters.FullScans.Load()
 	stats.ProvEntries = e.rec.Len() - provStart
 	stats.StopReason = governor.StopReason(runErr)
+	if e.prof != nil {
+		e.prof.SetEngine(e.Name())
+		e.prof.SetWall(stats.Wall)
+	}
 	e.stats.Store(stats)
 	evalSp.SetInt("passes", int64(run.pass))
 	evalSp.SetInt("tables", int64(len(run.tables)))
@@ -207,68 +226,85 @@ func (r *topDownRun) solveTable(goal term.Atom) error {
 	}
 	t.pass = r.pass
 	for _, rule := range r.graph[goal.Pred] {
-		fresh := r.rn.RenameRule(rule)
-		mgu, ok := term.Unify(goal, fresh.Head, nil)
-		if !ok {
-			continue
-		}
-		body := mgu.ApplyFormula(fresh.Body)
-		var derr error
-		_, err := solveBody(body, nil, r.lookup, func(s term.Subst) bool {
-			// Large joins emit many solutions between lookups; tick per
-			// solution so cancellation latency stays bounded.
-			if derr = r.gov.Tick(); derr != nil {
-				return false
-			}
-			head := s.Apply(mgu.Apply(fresh.Head))
-			if !head.IsGround() {
-				derr = fmt.Errorf("eval: derived non-ground fact %v from %v", head, rule)
-				return false
-			}
-			if DeriveHook != nil {
-				DeriveHook(head)
-			}
-			added, err := t.answers.Insert(storage.Tuple(head.Args))
-			if err != nil {
-				derr = err
-				return false
-			}
-			if added {
-				r.grew = true
-				if err := r.gov.CountFacts(1); err != nil {
-					derr = err
-					return false
-				}
-				if r.rec != nil {
-					n := r.rec.Record(head, rule, body, s)
-					if err := r.gov.CheckProvenanceEntries(n); err != nil {
-						derr = err
-						return false
-					}
-				}
-			}
-			return true
-		})
-		if err != nil {
+		if err := r.solveRule(t, goal, rule); err != nil {
 			return err
-		}
-		if derr != nil {
-			return derr
 		}
 	}
 	return nil
+}
+
+// solveRule evaluates one rule against the goal's table. The round is
+// bracketed by the profiler; nested subgoal work (lookup re-entering
+// solveTable) is attributed to the rules it evaluates, not this one.
+func (r *topDownRun) solveRule(t *table, goal term.Atom, rule term.Rule) error {
+	fresh := r.rn.RenameRule(rule)
+	mgu, ok := term.Unify(goal, fresh.Head, nil)
+	if !ok {
+		return nil
+	}
+	r.prof.begin(rule)
+	defer r.prof.end()
+	body := mgu.ApplyFormula(fresh.Body)
+	var derr error
+	_, err := solveBody(body, nil, r.lookup, func(s term.Subst) bool {
+		// Large joins emit many solutions between lookups; tick per
+		// solution so cancellation latency stays bounded.
+		if derr = r.gov.Tick(); derr != nil {
+			return false
+		}
+		head := s.Apply(mgu.Apply(fresh.Head))
+		if !head.IsGround() {
+			derr = fmt.Errorf("eval: derived non-ground fact %v from %v", head, rule)
+			return false
+		}
+		if DeriveHook != nil {
+			DeriveHook(head)
+		}
+		added, err := t.answers.Insert(storage.Tuple(head.Args))
+		if err != nil {
+			derr = err
+			return false
+		}
+		if added {
+			r.grew = true
+			r.prof.fresh()
+			if err := r.gov.CountFacts(1); err != nil {
+				derr = err
+				return false
+			}
+			if r.rec != nil {
+				n := r.rec.Record(head, rule, body, s)
+				if err := r.gov.CheckProvenanceEntries(n); err != nil {
+					derr = err
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return derr
 }
 
 // lookup resolves one body atom: EDB predicates via the store, IDB
 // predicates via their (possibly still-growing) tables.
 func (r *topDownRun) lookup(a term.Atom, base term.Subst, fn func(term.Subst) bool) error {
 	r.lookups++
+	r.prof.countLookup()
 	if err := r.gov.Tick(); err != nil {
 		return err
 	}
+	// With profiling on, probes are charged to the current rule's sink,
+	// which chains onto the run-wide counters.
+	c := r.counters
+	if pc := r.prof.storageCounters(); pc != nil {
+		c = pc
+	}
 	rules := r.graph[a.Pred]
 	if len(rules) == 0 {
-		return r.in.Store.MatchCounted(a, base, r.counters, fn)
+		return r.in.Store.MatchCounted(a, base, c, fn)
 	}
 	goal := base.Apply(a)
 	if err := r.solveTable(goal); err != nil {
@@ -302,7 +338,7 @@ func (r *topDownRun) lookup(a term.Atom, base term.Subst, fn func(term.Subst) bo
 	// A predicate may also have stored facts (robustness; the kb layer
 	// normally rewrites those into bodiless rules).
 	if r.in.Store.Relation(a.Pred) != nil {
-		return r.in.Store.MatchCounted(a, base, r.counters, fn)
+		return r.in.Store.MatchCounted(a, base, c, fn)
 	}
 	return nil
 }

@@ -24,6 +24,7 @@ import (
 	"kdb/internal/eval"
 	"kdb/internal/governor"
 	"kdb/internal/obs"
+	"kdb/internal/obs/profile"
 	"kdb/internal/parser"
 	"kdb/internal/prov"
 	"kdb/internal/storage"
@@ -72,6 +73,10 @@ type KB struct {
 	intensional bool
 	//kdb:guarded-by mu
 	provenance bool
+	// profiling makes every retrieve-style evaluation record per-rule
+	// cost rows (the .profile REPL toggle / -profile flag).
+	//kdb:guarded-by mu
+	profiling bool
 	// closed is set by Close; every entry point checks it first.
 	//kdb:guarded-by mu
 	closed bool
@@ -96,6 +101,10 @@ type KB struct {
 	// qlog is the optional structured query log (WithQueryLog); nil-safe
 	// like the other hooks.
 	qlog atomic.Pointer[obs.QueryLog]
+
+	// activity is the optional in-flight query registry (WithActivity);
+	// nil-safe like the other hooks.
+	activity atomic.Pointer[obs.ActivityRegistry]
 
 	// describer is rebuilt lazily after each load.
 	//kdb:guarded-by mu
@@ -785,6 +794,39 @@ func (k *KB) RetrieveOrContext(ctx context.Context, subject term.Atom, disjuncts
 	return merged, nil
 }
 
+// Profile evaluates a data query like Retrieve while recording per-rule
+// cost rows: wall time, rounds, tuples produced, and the storage probe
+// counters split index-hit/full-scan. See ProfileContext.
+//
+//kdb:entrypoint
+func (k *KB) Profile(subject term.Atom, where term.Formula) (*eval.Result, *profile.Profile, error) {
+	return k.ProfileContext(context.Background(), subject, where)
+}
+
+// ProfileContext runs a governed retrieve of subject/where with
+// profiling on and returns the answers together with the per-rule cost
+// profile — the runtime "explain analyze" of one evaluation. On a
+// governed stop the partial profile is returned alongside the error, so
+// a query killed by a limit still shows where the time went.
+func (k *KB) ProfileContext(ctx context.Context, subject term.Atom, where term.Formula) (*eval.Result, *profile.Profile, error) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	if k.closed {
+		return nil, nil, ErrClosed
+	}
+	p := profile.New()
+	if h := profileHolderFromContext(ctx); h != nil {
+		h.p.Store(p)
+	}
+	engine := k.newEngine(ctx, eval.WithProfile(p))
+	res, err := engine.RetrieveContext(ctx, eval.Query{Subject: subject, Where: where})
+	k.recordStats(engine)
+	if err != nil {
+		return nil, p, err
+	}
+	return res, p, nil
+}
+
 // maxExplainNodes bounds the reconstructed derivation tree of one
 // explain statement: generous enough for real programs, small enough
 // that a pathological witness graph cannot exhaust memory while
@@ -878,6 +920,24 @@ func (k *KB) SetProvenance(on bool) {
 
 // Provenance reports whether provenance display is on.
 func (k *KB) Provenance() bool { return k.showProvenance() }
+
+// SetProfiling switches always-on profiling on or off (off by default):
+// when on, every retrieve statement records per-rule cost rows and its
+// ExecResult carries the profile — the .profile REPL toggle and the
+// -profile CLI flag. The `profile p(…)` statement profiles one query
+// regardless of this setting.
+func (k *KB) SetProfiling(on bool) {
+	k.mu.Lock()
+	k.profiling = on
+	k.mu.Unlock()
+}
+
+// Profiling reports whether always-on profiling is enabled.
+func (k *KB) Profiling() bool {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.profiling
+}
 
 // Intensional reports whether intensional answering is on.
 func (k *KB) Intensional() bool {
@@ -1128,7 +1188,11 @@ func (k *KB) Exec(q parser.Query) (*ExecResult, error) {
 // unfolding un-governed.
 func (k *KB) ExecContext(ctx context.Context, q parser.Query) (*ExecResult, error) {
 	ctx, finish := k.beginQuery(ctx)
+	ctx, done := k.beginActivity(ctx, queryKind(q), q.String())
 	res, err := k.execContext(ctx, q)
+	if done != nil {
+		done()
+	}
 	if finish != nil {
 		finish(queryKind(q), q.String(), err)
 	}
@@ -1139,16 +1203,19 @@ func (k *KB) execContext(ctx context.Context, q parser.Query) (*ExecResult, erro
 	switch s := q.(type) {
 	case *parser.Retrieve:
 		var res *eval.Result
+		var prof *profile.Profile
 		var err error
 		if len(s.Or) > 0 {
 			res, err = k.RetrieveOrContext(ctx, s.Subject, s.Disjuncts())
+		} else if k.Profiling() {
+			res, prof, err = k.ProfileContext(ctx, s.Subject, s.Where)
 		} else {
 			res, err = k.RetrieveContext(ctx, s.Subject, s.Where)
 		}
 		if err != nil {
 			return nil, err
 		}
-		out := &ExecResult{Query: q, Retrieve: res, subject: s.Subject}
+		out := &ExecResult{Query: q, Retrieve: res, Profile: prof, subject: s.Subject}
 		k.mu.RLock()
 		intensional := k.intensional
 		k.mu.RUnlock()
@@ -1211,6 +1278,12 @@ func (k *KB) execContext(ctx context.Context, q parser.Query) (*ExecResult, erro
 			return nil, err
 		}
 		return &ExecResult{Query: q, Explanation: exp}, nil
+	case *parser.Profile:
+		res, prof, err := k.ProfileContext(ctx, s.Subject, s.Where)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Query: q, Retrieve: res, Profile: prof, subject: s.Subject}, nil
 	case *parser.Compare:
 		c, err := k.Compare(s.Left.Subject, s.Left.Where, s.Right.Subject, s.Right.Where)
 		if err != nil {
@@ -1242,7 +1315,11 @@ func (k *KB) ExecStringContext(ctx context.Context, src string) (*ExecResult, er
 		}
 		return nil, err
 	}
+	ctx, done := k.beginActivity(ctx, queryKind(q), q.String())
 	res, err := k.execContext(ctx, q)
+	if done != nil {
+		done()
+	}
 	if finish != nil {
 		finish(queryKind(q), q.String(), err)
 	}
@@ -1254,6 +1331,10 @@ func (k *KB) ExecStringContext(ctx context.Context, src string) (*ExecResult, er
 type ExecResult struct {
 	Query    parser.Query
 	Retrieve *eval.Result
+	// Profile carries the per-rule cost rows of a `profile p(…)`
+	// statement (or of any retrieve when SetProfiling is on), rendered
+	// after the answers as an annotated plan.
+	Profile *profile.Profile
 	// Knowledge carries the intensional characterization of a retrieve
 	// answer when intensional answering is on (SetIntensional).
 	Knowledge   *core.Answers
@@ -1291,6 +1372,10 @@ func (r *ExecResult) String() string {
 				b.WriteString("  " + f.String() + "\n")
 			}
 			return strings.TrimRight(b.String(), "\n")
+		}
+		if r.Profile != nil {
+			b.WriteString("\n\n")
+			b.WriteString(strings.TrimRight(r.Profile.String(), "\n"))
 		}
 		return b.String()
 	case r.Describe != nil:

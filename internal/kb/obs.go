@@ -2,11 +2,13 @@ package kb
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 
 	"kdb/internal/eval"
 	"kdb/internal/governor"
 	"kdb/internal/obs"
+	"kdb/internal/obs/profile"
 	"kdb/internal/parser"
 )
 
@@ -41,6 +43,24 @@ func WithQueryLog(l *obs.QueryLog) Option {
 	return func(k *KB) { k.qlog.Store(l) }
 }
 
+// WithActivity attaches an in-flight query registry: every Exec-path
+// query registers itself (statement, kind, tenant/client, trace id,
+// stats-so-far) for the duration of its evaluation, and canceling its
+// registry entry cancels the query's context — kdb's pg_stat_activity.
+// The registry may be shared across KBs (the server registers every
+// tenant's queries in one).
+func WithActivity(reg *obs.ActivityRegistry) Option {
+	return func(k *KB) { k.activity.Store(reg) }
+}
+
+// SetActivityRegistry attaches (or, given nil, detaches) the in-flight
+// query registry at runtime; it takes effect on the next query.
+func (k *KB) SetActivityRegistry(reg *obs.ActivityRegistry) { k.activity.Store(reg) }
+
+// ActivityRegistry returns the attached in-flight query registry, or
+// nil.
+func (k *KB) ActivityRegistry() *obs.ActivityRegistry { return k.activity.Load() }
+
 // SetTracer attaches (or, given nil, detaches) the span tracer at
 // runtime; it takes effect on the next query.
 func (k *KB) SetTracer(t *obs.Tracer) { k.tracer.Store(t) }
@@ -56,6 +76,45 @@ func (k *KB) SetQueryLog(l *obs.QueryLog) { k.qlog.Store(l) }
 // Exec paths (ExecStringContext → ExecContext, intensional answering)
 // neither open a second root span nor double-count metrics.
 type queryMark struct{}
+
+// profileHolder lets the finish callback of beginQuery pick up the
+// per-rule profile a nested ProfileContext recorded, so slow-log
+// records carry their own cost breakdown. beginQuery plants it before
+// the statement kind is known; ProfileContext fills it.
+type profileHolder struct {
+	p atomic.Pointer[profile.Profile]
+}
+
+type profileHolderKey struct{}
+
+func profileHolderFromContext(ctx context.Context) *profileHolder {
+	h, _ := ctx.Value(profileHolderKey{}).(*profileHolder)
+	return h
+}
+
+// activityMark mirrors queryMark for the activity registry: nested Exec
+// paths must not register a second in-flight entry.
+type activityMark struct{}
+
+// beginActivity registers the query in the attached activity registry
+// under a cancelable child context and returns it with a done func;
+// done deregisters. Returns ctx, nil when no registry is attached or
+// the context is already inside a registered query.
+func (k *KB) beginActivity(ctx context.Context, kind, stmt string) (context.Context, func()) {
+	reg := k.activity.Load()
+	if reg == nil || ctx.Value(activityMark{}) != nil {
+		return ctx, nil
+	}
+	ctx = context.WithValue(ctx, activityMark{}, true)
+	cctx, cancel := context.WithCancel(ctx)
+	ci, _ := obs.ClientFromContext(ctx)
+	a := reg.Begin(stmt, kind, ci.Tenant, ci.Client, obs.SpanFromContext(ctx).TraceID(), cancel)
+	cctx = obs.ContextWithActivity(cctx, a)
+	return cctx, func() {
+		reg.End(a)
+		cancel()
+	}
+}
 
 // beginQuery opens the per-query observability scope: a root "query"
 // span placed in the context for the engines to hang children on, and a
@@ -85,6 +144,11 @@ func (k *KB) beginQuery(ctx context.Context) (context.Context, func(kind, stmt s
 		root = tr.Start("query")
 	}
 	ctx = obs.ContextWithSpan(ctx, root)
+	var holder *profileHolder
+	if ql != nil {
+		holder = &profileHolder{}
+		ctx = context.WithValue(ctx, profileHolderKey{}, holder)
+	}
 	start := time.Now()
 	prev := k.lastStats.Load()
 	ci, _ := obs.ClientFromContext(ctx)
@@ -101,7 +165,9 @@ func (k *KB) beginQuery(ctx context.Context) (context.Context, func(kind, stmt s
 		if err != nil {
 			root.SetBool("error", true)
 		}
-		qm.ObserveQuery(kind, d, stop, err != nil)
+		// The latency sample carries the trace id, so the histogram
+		// bucket's exemplar links to this query's trace and log line.
+		qm.ObserveQueryTrace(kind, d, stop, err != nil, root.TraceID())
 		st := k.lastStats.Load()
 		freshStats := st != nil && st != prev
 		if freshStats {
@@ -114,7 +180,7 @@ func (k *KB) beginQuery(ctx context.Context) (context.Context, func(kind, stmt s
 				Kind:      kind,
 				DurUS:     d.Microseconds(),
 				Stop:      stop,
-				TraceID:   root.ID(),
+				TraceID:   root.TraceID(),
 				Tenant:    ci.Tenant,
 				Client:    ci.Client,
 			}
@@ -126,9 +192,13 @@ func (k *KB) beginQuery(ctx context.Context) (context.Context, func(kind, stmt s
 				rec.Facts = int64(st.Facts)
 				rec.Lookups = st.Lookups
 				rec.Probes = st.Probes
+				rec.FullScans = st.FullScans
 				rec.Candidates = st.Candidates
 				rec.IndexBuilds = st.IndexBuilds
 				rec.ProvEntries = int64(st.ProvEntries)
+			}
+			if p := holder.p.Load(); p != nil {
+				rec.Profile = p.Rows()
 			}
 			ql.Observe(rec) // best-effort: a full disk must not fail the query
 		}
@@ -174,6 +244,8 @@ func queryKind(q parser.Query) string {
 		return "compare"
 	case *parser.Explain:
 		return "explain"
+	case *parser.Profile:
+		return "profile"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,120 @@
+package kb
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"kdb/internal/obs"
+)
+
+// TestProfileStatement: the `profile p(…)` statement returns answers
+// plus per-rule cost rows, and the rendering includes the annotated
+// plan after the answers.
+func TestProfileStatement(t *testing.T) {
+	k := New()
+	if err := k.LoadString(routesProgram); err != nil {
+		t.Fatal(err)
+	}
+	res, err := k.ExecString("profile reachable(la, X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil {
+		t.Fatal("profile statement returned no profile")
+	}
+	if len(res.Retrieve.Tuples) == 0 {
+		t.Error("profile statement returned no answers")
+	}
+	if len(res.Profile.Rows()) == 0 {
+		t.Error("profile has no rows")
+	}
+	out := res.String()
+	if !strings.Contains(out, "profile: engine=") {
+		t.Errorf("rendering missing the profile section:\n%s", out)
+	}
+	if !strings.Contains(out, "reachable(la,") {
+		t.Errorf("rendering missing the answers:\n%s", out)
+	}
+}
+
+// TestSetProfiling: with always-on profiling, a plain retrieve carries
+// a profile; switching it off restores the profile-free result.
+func TestSetProfiling(t *testing.T) {
+	k := New()
+	if err := k.LoadString(routesProgram); err != nil {
+		t.Fatal(err)
+	}
+	if k.Profiling() {
+		t.Fatal("profiling on by default")
+	}
+	k.SetProfiling(true)
+	res, err := k.ExecString("retrieve reachable(la, X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile == nil || len(res.Profile.Rows()) == 0 {
+		t.Error("always-on profiling attached no profile to retrieve")
+	}
+	k.SetProfiling(false)
+	res, err = k.ExecString("retrieve reachable(la, X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Profile != nil {
+		t.Error("profile attached with profiling off")
+	}
+}
+
+// TestQueryLogProfileRows: when a query is profiled, its query-log
+// record carries the per-rule rows, so the slow log explains where a
+// slow query spent its time.
+func TestQueryLogProfileRows(t *testing.T) {
+	var buf bytes.Buffer
+	ql := obs.NewQueryLog(&buf, 0)
+	k := New(WithQueryLog(ql))
+	if err := k.LoadString(routesProgram); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.ExecString("profile reachable(la, X)."); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.ExecString("retrieve reachable(la, X)."); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d log lines, want 2:\n%s", len(lines), buf.String())
+	}
+	type rec struct {
+		Kind    string `json:"kind"`
+		Profile []struct {
+			Rule   string `json:"rule"`
+			WallNS int64  `json:"wall_ns"`
+			Tuples int64  `json:"tuples"`
+		} `json:"profile"`
+	}
+	var profiled, plain rec
+	if err := json.Unmarshal([]byte(lines[0]), &profiled); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &plain); err != nil {
+		t.Fatal(err)
+	}
+	if profiled.Kind != "profile" || len(profiled.Profile) == 0 {
+		t.Errorf("profiled record = %s", lines[0])
+	}
+	var sawRule bool
+	for _, r := range profiled.Profile {
+		if strings.Contains(r.Rule, "reachable") {
+			sawRule = true
+		}
+	}
+	if !sawRule {
+		t.Errorf("no reachable rule in the logged profile: %s", lines[0])
+	}
+	if plain.Profile != nil {
+		t.Errorf("unprofiled record carries profile rows: %s", lines[1])
+	}
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: the main module version, the
+// Go toolchain, and the VCS revision baked in by the Go linker.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	Modified  bool   `json:"modified,omitempty"`
+}
+
+// ReadBuild collects the binary's build identity from
+// debug.ReadBuildInfo. Fields the linker did not stamp (e.g. a
+// non-release build without VCS metadata) come back as "unknown" or
+// empty.
+func ReadBuild() BuildInfo {
+	out := BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return out
+	}
+	if bi.Main.Version != "" {
+		out.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		out.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.modified":
+			out.Modified = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// RegisterBuildInfo publishes the kdb_build_info gauge — value fixed at
+// 1, identity carried in the labels, the standard Prometheus idiom for
+// joining metrics against a deploy version. Returns the collected info
+// so servers can also report it on their health endpoint. Nil-safe.
+func RegisterBuildInfo(reg *Registry) BuildInfo {
+	info := ReadBuild()
+	if reg == nil {
+		return info
+	}
+	reg.SetHelp("kdb_build_info", "Build identity of the running binary; value is always 1.")
+	rev := info.Revision
+	if rev == "" {
+		rev = "unknown"
+	}
+	reg.Gauge("kdb_build_info",
+		"version", info.Version,
+		"goversion", info.GoVersion,
+		"revision", rev,
+	).Set(1)
+	return info
+}

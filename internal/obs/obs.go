@@ -65,6 +65,7 @@ type Span struct {
 	name  string
 	start time.Time
 	id    uint64
+	trace uint64 // root span's id, or an adopted W3C trace id
 
 	mu       sync.Mutex
 	end      time.Time
@@ -78,7 +79,8 @@ type Span struct {
 var spanIDs atomic.Uint64
 
 func newSpan(name string) *Span {
-	return &Span{name: name, start: time.Now(), worker: -1, id: spanIDs.Add(1)}
+	id := spanIDs.Add(1)
+	return &Span{name: name, start: time.Now(), worker: -1, id: id, trace: id}
 }
 
 // NewSpanAt constructs a detached, already-ended span with an explicit
@@ -112,12 +114,26 @@ func (s *Span) ID() uint64 {
 	return s.id
 }
 
-// Child creates and returns a sub-span. Returns nil if s is nil.
+// TraceID returns the id shared by every span in this tree: the root
+// span's id, or the trace id adopted from a W3C traceparent header via
+// Tracer.StartWithID. Zero for a nil span. Query-log records, latency
+// exemplars, and activity entries all join on this value.
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.trace
+}
+
+// Child creates and returns a sub-span. Returns nil if s is nil. The
+// child inherits the parent's trace id, so every span in a tree joins
+// to the same query-log and exemplar records.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	c := newSpan(name)
+	c.trace = s.trace
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
@@ -304,6 +320,21 @@ func (t *Tracer) Start(name string) *Span {
 		return nil
 	}
 	return newSpan(name)
+}
+
+// StartWithID begins a new root span carrying an explicit id — used
+// when a caller supplies a distributed trace id (W3C traceparent) that
+// downstream records should reference instead of a process-issued one.
+// An id of 0 falls back to Start.
+func (t *Tracer) StartWithID(name string, id uint64) *Span {
+	if t == nil {
+		return nil
+	}
+	s := newSpan(name)
+	if id != 0 {
+		s.trace = id
+	}
+	return s
 }
 
 // Finish ends root (if not already ended) and retains it in the recent

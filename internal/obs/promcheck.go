@@ -18,11 +18,14 @@ import (
 func ValidatePrometheus(text string) error {
 	typeRe := regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
 	helpRe := regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$`)
+	const labelSet = `\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\}`
+	const number = `NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?`
 	sampleRe := regexp.MustCompile(
 		`^([a-zA-Z_:][a-zA-Z0-9_:]*)` + // metric name
-			`(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?` + // labels
-			` (NaN|[+-]?Inf|[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)` + // value
-			`( [0-9]+)?$`) // optional timestamp
+			`(` + labelSet + `)?` + // labels
+			` (` + number + `)` + // value
+			`( [0-9]+)?` + // optional timestamp
+			`( # ` + labelSet + ` (?:` + number + `))?$`) // optional OpenMetrics exemplar
 
 	types := map[string]string{}
 	// histogram invariants, keyed by series labels minus le
@@ -89,6 +92,9 @@ func ValidatePrometheus(text string) error {
 				base, suffix = strings.TrimSuffix(name, s), s
 				break
 			}
+		}
+		if m[5] != "" && suffix != "_bucket" {
+			return fmt.Errorf("line %d: exemplar on non-bucket sample %s", n, name)
 		}
 		if typ, ok := types[base]; ok && typ == "histogram" && suffix != "" {
 			key := base + "\x00" + labelsSansLE(labels)

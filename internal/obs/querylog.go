@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync"
 	"time"
+
+	"kdb/internal/obs/profile"
 )
 
 // QueryLogRecord is one line of the structured query log: what ran, how
@@ -31,9 +33,14 @@ type QueryLogRecord struct {
 	Facts       int64  `json:"facts,omitempty"`
 	Lookups     int64  `json:"lookups,omitempty"`
 	Probes      int64  `json:"probes,omitempty"`
+	FullScans   int64  `json:"full_scans,omitempty"`
 	Candidates  int64  `json:"candidates,omitempty"`
 	IndexBuilds int64  `json:"index_builds,omitempty"`
 	ProvEntries int64  `json:"provenance_entries,omitempty"`
+	// Profile holds the per-rule cost rows when the query ran with
+	// profiling enabled, so a slow-log line carries its own "explain
+	// analyze" instead of requiring a re-run.
+	Profile []profile.Row `json:"profile,omitempty"`
 }
 
 // QueryLog appends one JSONL record per finished query to a writer —

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// RotatingWriter is a size-rotated file writer for the structured query
+// log: when the current file would exceed maxBytes the writer renames
+// it to path.1 (shifting path.1 → path.2, …) and starts a fresh file,
+// keeping at most keep rolled files. Rotation happens between writes,
+// so a JSONL record is never split across files.
+type RotatingWriter struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	keep     int
+	f        *os.File
+	size     int64
+}
+
+// NewRotatingWriter opens (or appends to) path with rotation at maxMB
+// megabytes, retaining keep rolled files. maxMB <= 0 disables rotation;
+// keep <= 0 defaults to 3.
+func NewRotatingWriter(path string, maxMB, keep int) (*RotatingWriter, error) {
+	if keep <= 0 {
+		keep = 3
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &RotatingWriter{
+		path:     path,
+		maxBytes: int64(maxMB) * 1 << 20,
+		keep:     keep,
+		f:        f,
+		size:     st.Size(),
+	}, nil
+}
+
+// Write appends p, rotating first if the file would exceed the size
+// budget. A record larger than the budget is written whole to a fresh
+// file rather than rejected.
+func (w *RotatingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.maxBytes > 0 && w.size > 0 && w.size+int64(len(p)) > w.maxBytes {
+		if err := w.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := w.f.Write(p)
+	w.size += int64(n)
+	return n, err
+}
+
+// rotate shifts the rolled files up one slot and reopens path fresh.
+// Called with the lock held.
+func (w *RotatingWriter) rotate() error {
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	// path.keep falls off; path.i → path.i+1; path → path.1.
+	os.Remove(fmt.Sprintf("%s.%d", w.path, w.keep))
+	for i := w.keep - 1; i >= 1; i-- {
+		os.Rename(fmt.Sprintf("%s.%d", w.path, i), fmt.Sprintf("%s.%d", w.path, i+1))
+	}
+	if err := os.Rename(w.path, w.path+".1"); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.size = 0
+	return nil
+}
+
+// Close closes the current file.
+func (w *RotatingWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ParseTraceparent extracts the trace id from a W3C Trace Context
+// traceparent header ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex
+// flags>"). kdb's span ids are 64-bit, so the low 64 bits (the last 16
+// hex digits) of the 128-bit trace id are adopted. Returns 0, false for
+// a malformed header or an all-zero trace id.
+func ParseTraceparent(h string) (uint64, bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return 0, false
+	}
+	if parts[0] == "ff" { // forbidden version
+		return 0, false
+	}
+	for _, p := range parts {
+		if !isHex(p) {
+			return 0, false
+		}
+	}
+	id, err := strconv.ParseUint(parts[1][16:], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	if id == 0 {
+		// All-zero trace ids are invalid per the spec; also guard the
+		// low half being zero, which would collide with "no trace".
+		return 0, false
+	}
+	return id, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}

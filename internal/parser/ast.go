@@ -67,7 +67,7 @@ func (d Declaration) String() string {
 }
 
 // Query is a parsed query statement: one of *Retrieve, *Describe,
-// *Compare, or *Explain.
+// *Compare, *Explain, or *Profile.
 type Query interface {
 	fmt.Stringer
 	isQuery()
@@ -197,6 +197,30 @@ func (*Explain) isQuery() {}
 // String renders the statement in surface syntax.
 func (q *Explain) String() string {
 	s := "explain " + q.Subject.String()
+	if len(q.Where) > 0 {
+		s += " where " + q.Where.String()
+	}
+	return s + "."
+}
+
+// Profile is the cost-accounting statement: it evaluates the subject
+// like a retrieve (with an optional positive qualifier) while recording
+// per-rule cost rows — wall time, rounds, tuples, probe counts — and
+// renders the annotated plan alongside the answers:
+//
+//	profile p(a, b).
+//	profile p(X) where q(X).
+type Profile struct {
+	Subject term.Atom
+	Where   term.Formula
+	Pos     Pos
+}
+
+func (*Profile) isQuery() {}
+
+// String renders the statement in surface syntax.
+func (q *Profile) String() string {
+	s := "profile " + q.Subject.String()
 	if len(q.Where) > 0 {
 		s += " where " + q.Where.String()
 	}

@@ -84,7 +84,8 @@ func (t Token) String() string {
 
 var keywords = map[string]bool{
 	"retrieve": true, "describe": true, "compare": true, "explain": true,
-	"with": true, "where": true, "and": true, "or": true, "not": true,
+	"profile": true,
+	"with":    true, "where": true, "and": true, "or": true, "not": true,
 	"necessary": true, "true": true,
 }
 

@@ -447,9 +447,48 @@ func (p *parser) parseQuery() (Query, error) {
 			return nil, err
 		}
 		return p.parseExplain(pos)
+	case p.atKeyword("profile"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return p.parseProfile(pos)
 	default:
-		return nil, errf(pos, "expected retrieve, describe, compare, or explain, found %s", p.tok)
+		return nil, errf(pos, "expected retrieve, describe, compare, explain, or profile, found %s", p.tok)
 	}
+}
+
+// parseProfile parses `profile p(…) [where ψ].` — a retrieve-shaped
+// statement without disjunction, mirroring explain: the cost rows
+// account for one evaluation, not a union of them.
+func (p *parser) parseProfile(pos Pos) (Query, error) {
+	subject, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	if term.IsComparison(subject) {
+		return nil, errf(pos, "the subject of profile cannot be a comparison")
+	}
+	q := &Profile{Subject: subject, Pos: pos}
+	if p.atKeyword("where") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		where, nots, err := p.parseConjunction(false)
+		if err != nil {
+			return nil, err
+		}
+		if len(nots) > 0 {
+			return nil, errf(pos, "profile qualifiers are positive formulas; 'not' is not allowed")
+		}
+		q.Where = where
+		if p.atKeyword("or") {
+			return nil, errf(pos, "'or' is not allowed in profile qualifiers")
+		}
+	}
+	if _, err := p.expect(TokDot); err != nil {
+		return nil, err
+	}
+	return q, nil
 }
 
 // parseExplain parses `explain p(…) [where ψ].` — a retrieve-shaped

@@ -11,14 +11,23 @@
 //	POST /v1/kb/{name}/retrieve   data query (statement kind: retrieve)
 //	POST /v1/kb/{name}/describe   knowledge query (describe / compare)
 //	POST /v1/kb/{name}/explain    why-provenance query
+//	POST /v1/kb/{name}/profile    per-rule cost-accounting query
 //	POST /v1/kb/{name}/assert     insert one ground fact
 //	POST /v1/kb/{name}/retract    remove one ground fact
 //	POST /v1/kb/{name}/load       load a program fragment
 //	POST /v1/kb/{name}/check      evaluate the integrity constraints
 //	GET  /v1/kbs                  list open knowledge bases
+//	GET  /v1/debug/activity       in-flight queries across all tenants
+//	POST /v1/debug/activity/{id}/cancel   cancel one in-flight query
 //
 // plus the obs debug surface (/metrics, /debug/vars, /debug/pprof/*)
 // on the same mux.
+//
+// Query routes honor an incoming W3C `traceparent` header: its trace id
+// (low 64 bits) becomes the request's root span id, so the server's
+// spans, query-log records, activity entries, and latency exemplars all
+// correlate with the caller's distributed trace. The header is echoed
+// on the response when adopted.
 //
 // Query statements may contain $1..$n placeholders; the parsed and
 // validated template is cached per tenant (an LRU keyed by statement
@@ -112,6 +121,12 @@ type Server struct {
 	breakers   *breakers
 	retryAfter string // preformatted Retry-After header value, in seconds
 
+	// activity registers every tenant's in-flight queries (the data
+	// behind /v1/debug/activity); build identifies the running binary
+	// for /healthz and the kdb_build_info gauge.
+	activity *obs.ActivityRegistry
+	build    obs.BuildInfo
+
 	requests  func(route, code string) *obs.Counter
 	durations func(route string) *obs.Histogram
 }
@@ -149,6 +164,8 @@ func New(cfg Config) (*Server, error) {
 		cfg.RetryAfter = time.Second
 	}
 	s := &Server{cfg: cfg, reg: reg}
+	s.activity = obs.NewActivityRegistry()
+	s.build = obs.RegisterBuildInfo(reg)
 	s.inflight = newAdmission(cfg.MaxInFlight, reg)
 	s.breakers = newBreakers(cfg.BreakerThreshold, cfg.BreakerCooldown, reg)
 	secs := int(cfg.RetryAfter.Round(time.Second) / time.Second)
@@ -192,11 +209,14 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/kb/{name}/retrieve", s.admit(s.handleQuery("retrieve")))
 	mux.HandleFunc("POST /v1/kb/{name}/describe", s.admit(s.handleQuery("describe")))
 	mux.HandleFunc("POST /v1/kb/{name}/explain", s.admit(s.handleQuery("explain")))
+	mux.HandleFunc("POST /v1/kb/{name}/profile", s.admit(s.handleQuery("profile")))
 	mux.HandleFunc("POST /v1/kb/{name}/assert", s.admit(s.handleMutate(false)))
 	mux.HandleFunc("POST /v1/kb/{name}/retract", s.admit(s.handleMutate(true)))
 	mux.HandleFunc("POST /v1/kb/{name}/load", s.admit(s.handleLoad))
 	mux.HandleFunc("POST /v1/kb/{name}/check", s.admit(s.handleCheck))
 	mux.HandleFunc("POST /v1/kb/{name}/checkpoint", s.admit(s.handleCheckpoint))
+	mux.HandleFunc("GET /v1/debug/activity", s.handleActivity)
+	mux.HandleFunc("POST /v1/debug/activity/{id}/cancel", s.handleActivityCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	s.mux = mux
@@ -213,6 +233,9 @@ func (s *Server) openKB(name string) (*kb.KB, error) {
 		kb.WithQueryLimits(s.cfg.Ceiling),
 		kb.WithParallelism(s.cfg.Parallelism),
 		kb.WithMetrics(s.reg),
+		// Every tenant shares the server's activity registry, so
+		// /v1/debug/activity sees the whole process at once.
+		kb.WithActivity(s.activity),
 	}
 	if s.cfg.Tracer != nil {
 		opts = append(opts, kb.WithTracer(s.cfg.Tracer))
@@ -322,6 +345,8 @@ type queryResponse struct {
 	Rendered string `json:"rendered"`
 	// Explanation carries the derivation trees of an explain.
 	Explanation json.RawMessage `json:"explanation,omitempty"`
+	// Profile carries the per-rule cost rows of a profile statement.
+	Profile json.RawMessage `json:"profile,omitempty"`
 }
 
 // handleQuery serves one query route. The route fixes the statement
@@ -382,7 +407,17 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, route string
 	if req.Limits != nil {
 		ctx = kb.ContextWithLimits(ctx, req.Limits.toLimits())
 	}
-	root := s.cfg.Tracer.Start("serve")
+	// A W3C traceparent on the request donates its trace id (the low 64
+	// bits) to the serve span, so every downstream record — query log,
+	// activity entry, latency exemplar — carries the caller's trace.
+	var traceID uint64
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		if id, ok := obs.ParseTraceparent(tp); ok {
+			traceID = id
+			w.Header().Set("Traceparent", tp)
+		}
+	}
+	root := s.cfg.Tracer.StartWithID("serve", traceID)
 	root.SetStr("route", route)
 	root.SetStr("tenant", name)
 	ctx = obs.ContextWithSpan(ctx, root)
@@ -401,6 +436,11 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, route string
 	if res.Explanation != nil {
 		if b, err := json.Marshal(res.Explanation); err == nil {
 			resp.Explanation = b
+		}
+	}
+	if res.Profile != nil {
+		if b, err := json.Marshal(res.Profile); err == nil {
+			resp.Profile = b
 		}
 	}
 	return writeJSON(w, http.StatusOK, resp)
@@ -427,6 +467,8 @@ func checkRoute(route string, q parser.Query) error {
 		}
 	case "explain":
 		_, ok = q.(*parser.Explain)
+	case "profile":
+		_, ok = q.(*parser.Profile)
 	}
 	if !ok {
 		return &badRequestError{fmt.Errorf("statement kind %s does not match route /%s", queryKind(q), route)}
@@ -454,6 +496,8 @@ func queryKind(q parser.Query) string {
 		return "compare"
 	case *parser.Explain:
 		return "explain"
+	case *parser.Profile:
+		return "profile"
 	default:
 		return "unknown"
 	}
@@ -465,8 +509,17 @@ func answerLines(res *kb.ExecResult) []string {
 	var out []string
 	switch {
 	case res.Retrieve != nil:
-		if q, ok := res.Query.(*parser.Retrieve); ok {
-			for _, a := range res.Retrieve.Atoms(q.Subject) {
+		var subject term.Atom
+		switch q := res.Query.(type) {
+		case *parser.Retrieve:
+			subject = q.Subject
+		case *parser.Profile:
+			subject = q.Subject
+		default:
+			break
+		}
+		if subject.Pred != "" {
+			for _, a := range res.Retrieve.Atoms(subject) {
 				out = append(out, a.String())
 			}
 		}
@@ -689,6 +742,42 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"kbs": out})
 }
 
+// activityResponse is the body of GET /v1/debug/activity.
+type activityResponse struct {
+	Queries []obs.ActivityInfo `json:"queries"`
+}
+
+// handleActivity lists the queries currently in flight across every
+// tenant — statement, kind, tenant/client, elapsed time, stats-so-far —
+// the serve counterpart of pg_stat_activity.
+func (s *Server) handleActivity(w http.ResponseWriter, r *http.Request) {
+	snap := s.activity.Snapshot()
+	if snap == nil {
+		snap = []obs.ActivityInfo{}
+	}
+	writeJSON(w, http.StatusOK, &activityResponse{Queries: snap})
+}
+
+// handleActivityCancel cancels one in-flight query by registry id: the
+// entry's cancel func fires, the governor stops the evaluation, and the
+// canceled request itself fails with 499. 404 when no such query is in
+// flight (it may have finished between the list and the cancel).
+func (s *Server) handleActivityCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		s.writeError(w, &badRequestError{fmt.Errorf("activity id %q: %w", r.PathValue("id"), err)})
+		return
+	}
+	if !s.activity.Cancel(id) {
+		writeJSON(w, http.StatusNotFound, &errorBody{Error: errorDetail{
+			Code:    "not-found",
+			Message: fmt.Sprintf("no in-flight query with id %d", id),
+		}})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "id": id})
+}
+
 // healthTenant is one tenant's entry in the health report.
 type healthTenant struct {
 	// Open reports whether the tenant's KB is currently open (an
@@ -708,6 +797,7 @@ type healthTenant struct {
 type healthResponse struct {
 	OK      bool                    `json:"ok"`
 	State   string                  `json:"state"` // serving | draining
+	Build   *obs.BuildInfo          `json:"build,omitempty"`
 	Tenants map[string]healthTenant `json:"tenants,omitempty"`
 }
 
@@ -721,7 +811,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, &healthResponse{State: "draining"})
 		return
 	}
-	resp := &healthResponse{OK: true, State: "serving"}
+	resp := &healthResponse{OK: true, State: "serving", Build: &s.build}
 	open := s.tenants.Snapshot()
 	if len(open) > 0 || len(s.breakers.tracked()) > 0 {
 		resp.Tenants = make(map[string]healthTenant)
@@ -752,11 +842,14 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   POST /v1/kb/{name}/retrieve   {"stmt": "retrieve p($1).", "args": ["a"]}
   POST /v1/kb/{name}/describe
   POST /v1/kb/{name}/explain
+  POST /v1/kb/{name}/profile
   POST /v1/kb/{name}/assert     {"fact": "p(a)"}
   POST /v1/kb/{name}/retract    {"fact": "p(a)"}
   POST /v1/kb/{name}/load       {"program": "p(a). q(X) :- p(X)."}
   POST /v1/kb/{name}/check
   POST /v1/kb/{name}/checkpoint
+  GET  /v1/debug/activity
+  POST /v1/debug/activity/{id}/cancel
   GET  /healthz
   /metrics  /debug/vars  /debug/pprof/
 `)

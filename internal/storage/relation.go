@@ -44,6 +44,46 @@ type Counters struct {
 	// IndexBuilds counts hash indexes built on first use of a bound-column
 	// mask.
 	IndexBuilds atomic.Int64
+	// FullScans counts the subset of Probes served without an index (no
+	// bound position): the whole extension was enumerated. Index-served
+	// probes are Probes - FullScans.
+	FullScans atomic.Int64
+
+	// next, when set, receives a copy of every event charged to this
+	// sink, so a narrow-scope sink (one rule's join work) can feed a
+	// wider one (the whole query) without double bookkeeping at the
+	// probe sites. Set via Chain before the sink is shared; the chain
+	// itself is immutable afterwards.
+	next *Counters
+}
+
+// Chain links parent downstream of c: every probe, candidate, index
+// build, and full scan charged to c is also charged to parent (and to
+// parent's own chain, transitively). It must be called before c is
+// handed to any concurrent user.
+func (c *Counters) Chain(parent *Counters) { c.next = parent }
+
+// addProbe charges one probe with its candidate count (and, when the
+// probe had no usable index, a full scan) to the sink and its chain.
+//
+//kdb:hotpath
+func (c *Counters) addProbe(fullScan bool, candidates int64) {
+	for s := c; s != nil; s = s.next {
+		s.Probes.Add(1)
+		s.Candidates.Add(candidates)
+		if fullScan {
+			s.FullScans.Add(1)
+		}
+	}
+}
+
+// addIndexBuild charges one index build to the sink and its chain.
+//
+//kdb:hotpath
+func (c *Counters) addIndexBuild() {
+	for s := c; s != nil; s = s.next {
+		s.IndexBuilds.Add(1)
+	}
 }
 
 // Relation is the stored extension of one predicate: a duplicate-free set
@@ -208,16 +248,14 @@ func (r *Relation) SelectCounted(pattern []term.Term, c *Counters, fn func(Tuple
 	if mask == 0 {
 		all := r.snapshotAll()
 		if c != nil {
-			c.Probes.Add(1)
-			c.Candidates.Add(int64(len(all)))
+			c.addProbe(true, int64(len(all)))
 		}
 		r.scanMatching(pattern, all, fn)
 		return nil
 	}
 	idxs := r.lookup(mask, pattern, c)
 	if c != nil {
-		c.Probes.Add(1)
-		c.Candidates.Add(int64(len(idxs)))
+		c.addProbe(false, int64(len(idxs)))
 	}
 	r.mu.RLock()
 	tuples := r.tuples
@@ -267,7 +305,7 @@ func (r *Relation) lookup(mask uint64, pattern []term.Term, c *Counters) []int {
 			}
 			r.indexes[mask] = index
 			if c != nil {
-				c.IndexBuilds.Add(1)
+				c.addIndexBuild()
 			}
 		}
 		r.mu.Unlock()

@@ -46,6 +46,7 @@ import (
 	"kdb/internal/governor"
 	"kdb/internal/kb"
 	"kdb/internal/obs"
+	"kdb/internal/obs/profile"
 	"kdb/internal/parser"
 	"kdb/internal/prov"
 	"kdb/internal/server"
@@ -355,6 +356,61 @@ func WriteExplainChromeTrace(w io.Writer, e *Explanation) error {
 
 // MetricsJSON renders the registry's current state as indented JSON.
 func MetricsJSON(reg *MetricsRegistry) ([]byte, error) { return obs.MetricsJSON(reg) }
+
+// Profiling & live introspection types: per-rule cost accounting behind
+// the `profile` statement (see KB.ProfileContext and KB.SetProfiling)
+// and the in-flight query registry behind /v1/debug/activity and
+// `kdb top`.
+type (
+	// QueryProfile is the per-rule cost breakdown of one evaluation:
+	// wall time, rounds, tuples, probes (index-hit vs full-scan), and
+	// an allocation estimate per rule, renderable as an annotated plan
+	// (String) or JSON (MarshalJSON).
+	QueryProfile = profile.Profile
+	// ProfileRow is one rule's cost row in a QueryProfile.
+	ProfileRow = profile.Row
+	// ProfileQuery is a parsed profile statement.
+	ProfileQuery = parser.Profile
+	// ActivityRegistry tracks the queries currently executing; cancel an
+	// entry to stop its evaluation through the governor.
+	ActivityRegistry = obs.ActivityRegistry
+	// ActivityInfo is the wire snapshot of one in-flight query.
+	ActivityInfo = obs.ActivityInfo
+	// BuildInfo identifies the running binary (version, go version, VCS
+	// revision); see RegisterBuildInfo.
+	BuildInfo = obs.BuildInfo
+	// RotatingWriter is a size-rotated log file writer (see
+	// NewRotatingWriter); give one to NewQueryLog for bounded logs.
+	RotatingWriter = obs.RotatingWriter
+)
+
+// NewActivityRegistry returns an empty in-flight query registry, shared
+// across as many KBs as should be visible in one listing.
+func NewActivityRegistry() *ActivityRegistry { return obs.NewActivityRegistry() }
+
+// WithActivity attaches an in-flight query registry to the KB: every
+// Exec-path query registers itself (statement, kind, tenant/client,
+// trace id, stats-so-far) for the duration of its evaluation, and
+// canceling its entry cancels the query — kdb's pg_stat_activity.
+func WithActivity(reg *ActivityRegistry) Option { return kb.WithActivity(reg) }
+
+// NewRotatingWriter returns a writer appending to path, rotating when
+// the file would exceed maxMB megabytes (path → path.1 → … → path.keep,
+// oldest deleted; keep <= 0 means 3). maxMB <= 0 disables rotation.
+func NewRotatingWriter(path string, maxMB, keep int) (*RotatingWriter, error) {
+	return obs.NewRotatingWriter(path, maxMB, keep)
+}
+
+// RegisterBuildInfo sets the kdb_build_info gauge (value 1, labeled
+// with version, go version, and VCS revision) on the registry and
+// returns the build identity for other surfaces (e.g. a health
+// endpoint).
+func RegisterBuildInfo(reg *MetricsRegistry) BuildInfo { return obs.RegisterBuildInfo(reg) }
+
+// ParseTraceparent extracts the low 64 bits of the trace id from a W3C
+// traceparent header value; ok is false when the header is malformed or
+// carries an all-zero trace id.
+func ParseTraceparent(h string) (id uint64, ok bool) { return obs.ParseTraceparent(h) }
 
 // Server types: the HTTP+JSON data plane of `kdb serve` — named
 // multi-tenant knowledge bases, prepared parameterized statements, and
