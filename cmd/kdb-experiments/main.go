@@ -296,6 +296,9 @@ type benchWorkload struct {
 	Kind  string `json:"kind"`
 	Query string `json:"query"`
 	setup func(dataDir string) (*kdb.KB, error)
+	// opts are extra KB options for this workload (e.g. the
+	// system-relations off half of an overhead pair).
+	opts []kdb.Option
 }
 
 // benchResult is the measured outcome of one workload, with every
@@ -347,17 +350,29 @@ func benchWorkloads() []benchWorkload {
 		// what the profiler costs.
 		{ID: "profile-reachable", Kind: "profile", setup: routesSetup,
 			Query: `profile reachable(la, Y).`},
+		// System-relations overhead pair: the same closure, which never
+		// mentions sys_*, with the virtual-relation provider attached
+		// (the default) and detached. Comparing
+		// retrieve-reachable-baseline against retrieve-reachable-nosys
+		// bounds what serving sys_* costs programs that ignore it (the
+		// design target is zero).
+		{ID: "retrieve-reachable-nosys", Kind: "retrieve", setup: routesSetup,
+			Query: `retrieve reachable(la, Y).`, opts: []kdb.Option{kdb.WithoutSystemRelations()}},
+		// The engine querying itself: one row per metric series of the
+		// workload's own registry.
+		{ID: "retrieve-sys-metric", Kind: "retrieve", setup: routesSetup,
+			Query: `retrieve sys_metric(N, counter, V) where V > 0.`},
 	}
 }
 
 // runBench executes every workload iters times over a fresh KB with a
 // fresh metrics registry and writes the JSON report to path.
 func runBench(dataDir, path string, iters int, out io.Writer) error {
-	report := benchReport{Bench: "PR9", Go: runtime.Version()}
+	report := benchReport{Bench: "PR10", Go: runtime.Version()}
 	for _, w := range benchWorkloads() {
 		reg := kdb.NewMetricsRegistry()
 		saved := kbOptions
-		kbOptions = append(append([]kdb.Option{}, saved...), kdb.WithMetrics(reg))
+		kbOptions = append(append(append([]kdb.Option{}, saved...), kdb.WithMetrics(reg)), w.opts...)
 		k, err := w.setup(dataDir)
 		kbOptions = saved
 		if err != nil {

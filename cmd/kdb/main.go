@@ -44,6 +44,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 
 	"kdb"
 )
@@ -103,13 +104,15 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	}
 
 	// Structured query log: one JSONL line per query (or only slow
-	// ones), size-rotated when -query-log-max-mb is set.
+	// ones), size-rotated when -query-log-max-mb is set, reopened on
+	// SIGHUP for external rotation.
 	if *queryLog != "" {
 		w, err := openQueryLog(*queryLog, *qlogMaxMB, *qlogKeep)
 		if err != nil {
 			return err
 		}
 		defer w.Close()
+		defer reopenOnHUP(w, out)()
 		opts = append(opts, kdb.WithQueryLog(kdb.NewQueryLog(w, *slowQuery)))
 	}
 
@@ -142,6 +145,11 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	if *debugAddr != "" {
 		reg := kdb.NewMetricsRegistry()
 		opts = append(opts, kdb.WithMetrics(reg))
+		// Retained samples back the sys_metric_history virtual relation.
+		hist := kdb.NewMetricsHistory(reg, 0, 0)
+		hist.Start()
+		defer hist.Stop()
+		opts = append(opts, kdb.WithMetricsHistory(hist), kdb.WithQueryStats())
 		ln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
 			return err
@@ -233,13 +241,37 @@ func run(args []string, in io.Reader, out io.Writer) error {
 	return sh.repl(in, out, *quiet)
 }
 
-// openQueryLog opens the query-log sink: a plain append file, or a
-// size-rotated writer (FILE → FILE.1 → … → FILE.keep) when maxMB > 0.
-func openQueryLog(path string, maxMB, keep int) (io.WriteCloser, error) {
-	if maxMB > 0 {
-		return kdb.NewRotatingWriter(path, maxMB, keep)
+// openQueryLog opens the query-log sink: a rotating writer even when
+// size rotation is off (maxMB <= 0), so SIGHUP can always reopen the
+// file after an external rotation.
+func openQueryLog(path string, maxMB, keep int) (*kdb.RotatingWriter, error) {
+	return kdb.NewRotatingWriter(path, maxMB, keep)
+}
+
+// reopenOnHUP reopens the query log whenever the process receives
+// SIGHUP (the logrotate convention); the returned stop function ends
+// the watcher. Reopen failures are reported once per signal and do not
+// kill the process.
+func reopenOnHUP(w *kdb.RotatingWriter, out io.Writer) (stop func()) {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGHUP)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-sigc:
+				if err := w.Reopen(); err != nil {
+					fmt.Fprintf(out, "kdb: query log reopen: %v\n", err)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		signal.Stop(sigc)
+		close(done)
 	}
-	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 }
 
 // checkedFile is the per-file outcome of `kdb check`, shaped for both

@@ -86,12 +86,14 @@ func runServe(args []string, out io.Writer) error {
 			MaxProvenanceEntries: *maxProv,
 		},
 	}
+	var qlw *kdb.RotatingWriter
 	if *queryLog != "" {
 		w, err := openQueryLog(*queryLog, *qlogMaxMB, *qlogKeep)
 		if err != nil {
 			return err
 		}
 		defer w.Close()
+		qlw = w
 		cfg.QueryLog = kdb.NewQueryLog(w, *slowQuery)
 	}
 	srv, err := kdb.NewServer(cfg)
@@ -118,29 +120,44 @@ func runServe(args []string, out io.Writer) error {
 	go func() { errc <- hs.Serve(ln) }()
 
 	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
 	defer signal.Stop(sigc)
 
-	select {
-	case sig := <-sigc:
-		if !*quiet {
-			fmt.Fprintf(out, "kdb serve: %v: draining\n", sig)
-		}
-		cancelBase()
-		// Stop accepting, let in-flight requests finish, then close the
-		// tenants (which waits for any straggling evaluations).
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		defer cancel()
-		if err := hs.Shutdown(ctx); err != nil {
+	for {
+		select {
+		case sig := <-sigc:
+			// SIGHUP is the logrotate handshake, not a shutdown: reopen
+			// the query log (if any) and keep serving.
+			if sig == syscall.SIGHUP {
+				if qlw == nil {
+					continue
+				}
+				if err := qlw.Reopen(); err != nil && !*quiet {
+					fmt.Fprintf(out, "kdb serve: query log reopen: %v\n", err)
+				} else if !*quiet {
+					fmt.Fprintf(out, "kdb serve: %v: query log reopened\n", sig)
+				}
+				continue
+			}
+			if !*quiet {
+				fmt.Fprintf(out, "kdb serve: %v: draining\n", sig)
+			}
+			cancelBase()
+			// Stop accepting, let in-flight requests finish, then close the
+			// tenants (which waits for any straggling evaluations).
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := hs.Shutdown(ctx); err != nil {
+				srv.Close()
+				return fmt.Errorf("shutdown: %w", err)
+			}
+			return srv.Close()
+		case err := <-errc:
 			srv.Close()
-			return fmt.Errorf("shutdown: %w", err)
+			if errors.Is(err, http.ErrServerClosed) {
+				return nil
+			}
+			return err
 		}
-		return srv.Close()
-	case err := <-errc:
-		srv.Close()
-		if errors.Is(err, http.ErrServerClosed) {
-			return nil
-		}
-		return err
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"kdb/internal/depgraph"
+	"kdb/internal/obs/sysrel"
 	"kdb/internal/parser"
 	"kdb/internal/term"
 )
@@ -193,6 +194,7 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		safetyAnalyzer,
 		arityAnalyzer,
+		reservedAnalyzer,
 		undefinedAnalyzer,
 		unusedAnalyzer,
 		recursionAnalyzer,
@@ -227,6 +229,12 @@ func Run(prog *Program, analyzers ...*Analyzer) *Report {
 	}
 	for _, r := range prog.Rules {
 		pass.Defined[r.Head.Pred] = true
+	}
+	// The engine's virtual relations are always defined (and grounded):
+	// a body atom over sys_metric is served at query time, not by the
+	// program.
+	for _, d := range sysrel.Defs() {
+		pass.Defined[d.Name] = true
 	}
 	rep := &Report{Profile: ProfileOf(prog, pass.Graph)}
 	for _, a := range analyzers {

@@ -7,6 +7,7 @@ import (
 
 	"kdb/internal/builtin"
 	"kdb/internal/depgraph"
+	"kdb/internal/obs/sysrel"
 	"kdb/internal/term"
 	"kdb/internal/transform"
 )
@@ -254,6 +255,9 @@ var unusedAnalyzer = &Analyzer{
 		grounded := make(map[string]bool)
 		for p := range pass.Program.EDB {
 			grounded[p] = true
+		}
+		for _, d := range sysrel.Defs() {
+			grounded[d.Name] = true // virtual relations are served, hence grounded
 		}
 		for changed := true; changed; {
 			changed = false

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"fmt"
+
+	"kdb/internal/obs/sysrel"
+	"kdb/internal/term"
+)
+
+// reservedAnalyzer enforces the sys_ namespace reservation: the sys_*
+// relations are virtual — served by the engine about itself — so user
+// clauses may read them but never define them. A fact or rule head in
+// the namespace is an error. Body and constraint references are checked
+// against the served schema: an unknown sys_ name or a known relation
+// used at the wrong arity can never be satisfied, so both are errors
+// rather than the undefined analyzer's optimistic warning.
+var reservedAnalyzer = &Analyzer{
+	Name: "reserved",
+	Doc:  "user definitions and malformed references in the reserved sys_ namespace",
+	Run: func(pass *Pass) []Diagnostic {
+		var out []Diagnostic
+		define := func(pos term.Pos, pred, what, rule string) {
+			out = append(out, Diagnostic{
+				Analyzer: "reserved",
+				Severity: SevError,
+				Pos:      pos,
+				Subject:  pred,
+				Message:  fmt.Sprintf("%s defines %s: the sys_ namespace is reserved for the engine's virtual relations", what, pred),
+				Rules:    []string{rule},
+			})
+		}
+		use := func(a term.Atom, pos term.Pos, rule string) {
+			if !sysrel.IsName(a.Pred) {
+				return
+			}
+			d := sysrel.Lookup(a.Pred)
+			if d == nil {
+				out = append(out, Diagnostic{
+					Analyzer: "reserved",
+					Severity: SevError,
+					Pos:      pos,
+					Subject:  a.Pred,
+					Message:  fmt.Sprintf("unknown system relation %s: the sys_ namespace is reserved and no such relation is served", a.Pred),
+					Rules:    []string{rule},
+				})
+				return
+			}
+			if a.Arity() != d.Arity {
+				out = append(out, Diagnostic{
+					Analyzer: "reserved",
+					Severity: SevError,
+					Pos:      pos,
+					Subject:  a.Pred,
+					Message:  fmt.Sprintf("system relation %s used with arity %d, but its schema is %s", a.Pred, a.Arity(), d.Signature()),
+					Rules:    []string{rule},
+				})
+			}
+		}
+		for _, f := range pass.Program.Facts {
+			if sysrel.IsName(f.Head.Pred) {
+				define(f.Pos, f.Head.Pred, "fact", f.String())
+			}
+		}
+		for _, r := range pass.Program.Rules {
+			if sysrel.IsName(r.Head.Pred) {
+				define(r.Pos, r.Head.Pred, "rule", r.String())
+			}
+			for _, a := range r.Body {
+				use(a, r.Pos, r.String())
+			}
+		}
+		for i, ic := range pass.Program.Constraints {
+			var pos term.Pos
+			if i < len(pass.Program.ConstraintPos) {
+				pos = pass.Program.ConstraintPos[i]
+			}
+			for _, a := range ic {
+				use(a, pos, ":- "+ic.String()+".")
+			}
+		}
+		return out
+	},
+}

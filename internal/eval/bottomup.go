@@ -376,10 +376,11 @@ func endEvalSpan(evalSp, parent *obs.Span, stats *EvalStats) {
 // fullLookup builds the component-local lookup over the union of the
 // derived and stored extensions: derived facts are enumerated first,
 // then stored facts — suppressing the stored tuples already present in
-// the derived relation so no substitution is fed twice. Each lookup
-// performs one amortized governor check, which bounds the cancellation
-// latency of even a single very large fixpoint round.
-func (e *bottomUp) fullLookup(d *derived, gov *governor.Governor, cs *ComponentStats, rp *ruleProfiler) lookup {
+// the derived relation so no substitution is fed twice. Virtual
+// predicates resolve against their per-query plan snapshot and nothing
+// else. Each lookup performs one amortized governor check, which bounds
+// the cancellation latency of even a single very large fixpoint round.
+func (e *bottomUp) fullLookup(p *plan, d *derived, gov *governor.Governor, cs *ComponentStats, rp *ruleProfiler) lookup {
 	return func(a term.Atom, base term.Subst, fn func(term.Subst) bool) error {
 		cs.Lookups++
 		rp.countLookup()
@@ -391,6 +392,11 @@ func (e *bottomUp) fullLookup(d *derived, gov *governor.Governor, cs *ComponentS
 		c := d.counters
 		if rc := rp.storageCounters(); rc != nil {
 			c = rc
+		}
+		if p.virtual != nil {
+			if vr := p.virtual[a.Pred]; vr != nil {
+				return matchRelation(vr, a, base, c, fn)
+			}
 		}
 		rel := d.get(a.Pred)
 		if rel == nil {
@@ -439,7 +445,7 @@ func (e *bottomUp) evalComponent(p *plan, d *derived, gov *governor.Governor, co
 	if e.prof != nil {
 		rp = newRuleProfiler(e.prof, e.labels, d.counters)
 	}
-	full := e.fullLookup(d, gov, cs, rp)
+	full := e.fullLookup(p, d, gov, cs, rp)
 
 	// First round: apply every rule once against the current state.
 	delta := newDerived(d.counters)

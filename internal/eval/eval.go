@@ -28,10 +28,14 @@ import (
 )
 
 // Input is the database an engine evaluates against: stored facts plus
-// IDB rules.
+// IDB rules, and optionally a provider of virtual system relations.
 type Input struct {
 	Store *storage.Store
 	Rules []term.Rule
+	// Virtual optionally serves read-only system relations (sys_*).
+	// Programs that never reference a virtual predicate evaluate
+	// exactly as if the field were nil, with zero added allocations.
+	Virtual Virtual
 }
 
 // Query is one retrieve statement.
@@ -117,6 +121,11 @@ type plan struct {
 	vars  []term.Term
 	rules []term.Rule
 	graph *depgraph.Graph
+	// virtual holds the per-query snapshots of every virtual predicate
+	// the program references; nil when the program references none.
+	// Snapshotting at plan time gives one consistent read-only state to
+	// the whole evaluation, on every engine.
+	virtual map[string]*storage.Relation
 }
 
 // buildPlan constructs and safety-checks the internal query rule. If the
@@ -134,6 +143,9 @@ func buildPlan(in Input, q Query) (*plan, error) {
 		}
 	}
 	known := in.Store.Relation(q.Subject.Pred) != nil
+	if !known && in.Virtual != nil && in.Virtual.IsVirtual(q.Subject.Pred) {
+		known = true
+	}
 	if !known {
 		for _, r := range in.Rules {
 			if r.Head.Pred == q.Subject.Pred {
@@ -155,11 +167,16 @@ func buildPlan(in Input, q Query) (*plan, error) {
 	if err := checkSafety(rules); err != nil {
 		return nil, err
 	}
+	virt, err := virtualSnapshots(in.Virtual, rules)
+	if err != nil {
+		return nil, err
+	}
 	return &plan{
-		rule:  rule,
-		vars:  vars,
-		rules: rules,
-		graph: depgraph.New(rules),
+		rule:    rule,
+		vars:    vars,
+		rules:   rules,
+		graph:   depgraph.New(rules),
+		virtual: virt,
 	}, nil
 }
 

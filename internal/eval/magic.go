@@ -92,7 +92,11 @@ func (e *magic) RetrieveContext(ctx context.Context, q Query) (res *Result, err 
 	if err != nil {
 		return nil, err
 	}
-	inner := Input{Store: e.in.Store, Rules: rewritten}
+	// The provider is forwarded unchanged: the adorned rewrite leaves
+	// virtual atoms as-is (they have no rules, so they adorn like stored
+	// predicates), and the inner plan re-snapshots them through the same
+	// view, so magic answers match the other engines.
+	inner := Input{Store: e.in.Store, Rules: rewritten, Virtual: e.in.Virtual}
 	engine := NewSemiNaive(inner, WithWorkers(e.workers), WithLimits(e.limits),
 		WithProvenance(e.rec.Rewritten(magicProvRewrite)),
 		WithProfile(e.prof), withProfileLabels(labels))

@@ -131,7 +131,7 @@ func TestFullLookupSuppressesStoredDuplicates(t *testing.T) {
 		}
 	}
 	var cs ComponentStats
-	lk := e.fullLookup(d, nil, &cs, nil)
+	lk := e.fullLookup(&plan{}, d, nil, &cs, nil)
 	x := term.Var("X")
 	var got []string
 	if err := lk(term.NewAtom("p", x), nil, func(s term.Subst) bool {

@@ -57,6 +57,9 @@ type topDownRun struct {
 	rn    term.Renamer
 	gov   *governor.Governor
 	rec   *prov.Recorder
+	// virt holds the plan's per-query virtual-relation snapshots (nil
+	// when the program references none).
+	virt map[string]*storage.Relation
 
 	tables   map[string]*table
 	pass     int
@@ -98,6 +101,7 @@ func (e *topDown) RetrieveContext(ctx context.Context, q Query) (res *Result, er
 		graph:    make(map[string][]term.Rule),
 		gov:      gov,
 		rec:      e.rec,
+		virt:     p.virtual,
 		tables:   make(map[string]*table),
 		counters: &storage.Counters{},
 	}
@@ -301,6 +305,11 @@ func (r *topDownRun) lookup(a term.Atom, base term.Subst, fn func(term.Subst) bo
 	c := r.counters
 	if pc := r.prof.storageCounters(); pc != nil {
 		c = pc
+	}
+	if r.virt != nil {
+		if vr := r.virt[a.Pred]; vr != nil {
+			return matchRelation(vr, a, base, c, fn)
+		}
 	}
 	rules := r.graph[a.Pred]
 	if len(rules) == 0 {

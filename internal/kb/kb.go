@@ -25,6 +25,7 @@ import (
 	"kdb/internal/governor"
 	"kdb/internal/obs"
 	"kdb/internal/obs/profile"
+	"kdb/internal/obs/sysrel"
 	"kdb/internal/parser"
 	"kdb/internal/prov"
 	"kdb/internal/storage"
@@ -106,6 +107,16 @@ type KB struct {
 	// nil-safe like the other hooks.
 	activity atomic.Pointer[obs.ActivityRegistry]
 
+	// sys serves the sys_* virtual relations. It is created at
+	// construction (nil after WithoutSystemRelations) and the pointer
+	// never changes afterwards; the provider's sources are attached by
+	// the observability options and are internally synchronized.
+	sys *sysrel.Provider
+
+	// qstats is the optional per-statement aggregate (WithQueryStats)
+	// behind sys_query_stats; nil-safe like the other hooks.
+	qstats atomic.Pointer[sysrel.QueryStats]
+
 	// describer is rebuilt lazily after each load.
 	//kdb:guarded-by mu
 	describer *core.Describer
@@ -140,7 +151,8 @@ func WithQueryLimits(l governor.Limits) Option {
 
 // New returns an empty in-memory knowledge base.
 func New(opts ...Option) *KB {
-	k := &KB{cat: catalog.New(), store: storage.NewMemory(), engine: EngineSemiNaive, parallelism: 1}
+	k := &KB{cat: catalog.New(), store: storage.NewMemory(), engine: EngineSemiNaive, parallelism: 1,
+		sys: sysrel.NewProvider()}
 	for _, o := range opts {
 		o(k)
 	}
@@ -155,7 +167,8 @@ func Open(dir string, opts ...Option) (*KB, error) {
 	if err != nil {
 		return nil, err
 	}
-	k := &KB{cat: catalog.New(), store: st, engine: EngineSemiNaive, parallelism: 1}
+	k := &KB{cat: catalog.New(), store: st, engine: EngineSemiNaive, parallelism: 1,
+		sys: sysrel.NewProvider()}
 	for _, o := range opts {
 		o(k)
 	}
@@ -540,6 +553,19 @@ func (k *KB) checkAtomArity(a term.Atom, class catalog.Class) error {
 		}
 		return nil
 	}
+	// The sys_ namespace is reserved: virtual relations validate against
+	// their fixed schema and never enter the catalog (the reserved
+	// analyzer already rejects definitions, so only body uses get here).
+	if sysrel.IsName(a.Pred) {
+		d := sysrel.Lookup(a.Pred)
+		if d == nil {
+			return fmt.Errorf("kb: unknown system relation %s (the sys_ namespace is reserved)", a.Pred)
+		}
+		if len(a.Args) != d.Arity {
+			return fmt.Errorf("kb: %s used with arity %d but the system relation is %s", a.Pred, len(a.Args), d.Signature())
+		}
+		return nil
+	}
 	if p := k.cat.Lookup(a.Pred); p != nil {
 		if p.Arity != len(a.Args) {
 			return fmt.Errorf("kb: %s used with arity %d but known with arity %d", a.Pred, len(a.Args), p.Arity)
@@ -559,6 +585,9 @@ func (k *KB) Assert(a term.Atom) error {
 	defer k.mu.Unlock()
 	if k.closed {
 		return ErrClosed
+	}
+	if sysrel.IsName(a.Pred) {
+		return fmt.Errorf("kb: %s is a virtual system relation; it cannot be asserted", a.Pred)
 	}
 	if k.cat.IsIDB(a.Pred) {
 		return fmt.Errorf("kb: %s is intensional; assert rules by loading a program", a.Pred)
@@ -584,6 +613,9 @@ func (k *KB) Retract(a term.Atom) (bool, error) {
 	defer k.mu.Unlock()
 	if k.closed {
 		return false, ErrClosed
+	}
+	if sysrel.IsName(a.Pred) {
+		return false, fmt.Errorf("kb: %s is a virtual system relation; it cannot be retracted", a.Pred)
 	}
 	if k.cat.IsIDB(a.Pred) {
 		return false, fmt.Errorf("kb: %s is intensional; retract only removes stored facts", a.Pred)
@@ -613,6 +645,13 @@ func (k *KB) Catalog() *catalog.Catalog { return k.cat }
 // through KB methods (Assert, Retract, LoadProgram), which keep the
 // catalog, the IDB, and the WAL in step.
 func (k *KB) Store() *storage.Store { return k.store }
+
+// SystemRelations exposes the sys_* virtual-relation provider, so
+// embedders (the server) can attach additional telemetry sources —
+// e.g. the per-tenant rows of sys_tenant. Nil when the provider was
+// disabled with WithoutSystemRelations; the sysrel setters are
+// nil-receiver safe, so callers need not check.
+func (k *KB) SystemRelations() *sysrel.Provider { return k.sys }
 
 // FactCount returns the number of stored facts across all predicates.
 func (k *KB) FactCount() int {
@@ -703,6 +742,12 @@ func (k *KB) Validate() []string {
 //kdb:rlocked mu
 func (k *KB) newEngine(ctx context.Context, extra ...eval.EngineOption) eval.Engine {
 	in := eval.Input{Store: k.store, Rules: k.rules}
+	if k.sys != nil {
+		// The view captures the store and the current rule slice; its
+		// sources read telemetry directly, never back through k (whose
+		// read lock this goroutine already holds).
+		in.Virtual = k.sys.View(k.store, k.rules)
+	}
 	opts := append([]eval.EngineOption{
 		eval.WithWorkers(k.parallelism),
 		eval.WithLimits(k.effectiveLimitsLocked(ctx)),
@@ -1228,6 +1273,16 @@ func (k *KB) execContext(ctx context.Context, q parser.Query) (*ExecResult, erro
 		}
 		return out, nil
 	case *parser.Describe:
+		// A describe of a virtual relation answers from its fixed
+		// definition: the schema is code, not loaded knowledge, so the
+		// describe engine has nothing to unfold.
+		if !s.Wildcard && !s.Subjectless && sysrel.IsName(s.Subject.Pred) {
+			d := sysrel.Lookup(s.Subject.Pred)
+			if d == nil {
+				return nil, fmt.Errorf("kb: unknown system relation %s (the sys_ namespace is reserved)", s.Subject.Pred)
+			}
+			return &ExecResult{Query: q, System: fmt.Sprintf("%s — virtual relation: %s", d.Signature(), d.Doc)}, nil
+		}
 		switch {
 		case s.Wildcard:
 			if len(s.Not) > 0 {
@@ -1344,6 +1399,9 @@ type ExecResult struct {
 	Wildcard    []core.WildcardEntry
 	Comparison  *core.ConceptComparison
 	Explanation *prov.Explanation
+	// System carries the fixed-definition answer of a `describe sys_…`
+	// statement over a virtual relation.
+	System string
 
 	subject    term.Atom
 	wildcard   bool
@@ -1353,6 +1411,8 @@ type ExecResult struct {
 // String renders the result for a terminal.
 func (r *ExecResult) String() string {
 	switch {
+	case r.System != "":
+		return r.System
 	case r.Retrieve != nil:
 		var b strings.Builder
 		if len(r.Retrieve.Tuples) == 0 {

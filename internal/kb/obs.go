@@ -8,7 +8,9 @@ import (
 	"kdb/internal/eval"
 	"kdb/internal/governor"
 	"kdb/internal/obs"
+	"kdb/internal/obs/history"
 	"kdb/internal/obs/profile"
+	"kdb/internal/obs/sysrel"
 	"kdb/internal/parser"
 )
 
@@ -31,7 +33,41 @@ func WithMetrics(reg *obs.Registry) Option {
 		}
 		k.qmetrics.Store(obs.NewQueryMetrics(reg))
 		k.store.SetObserver(obs.NewStorageMetrics(reg))
+		k.sys.SetRegistry(reg)
 	}
+}
+
+// WithMetricsHistory attaches a metrics-history ring buffer: its
+// retained samples back the sys_metric_history virtual relation. The
+// caller owns the buffer's sampling lifecycle (Start/Stop); the KB
+// only reads snapshots.
+func WithMetricsHistory(b *history.Buffer) Option {
+	return func(k *KB) { k.sys.SetHistory(b) }
+}
+
+// WithQueryStats turns on per-statement execution statistics: every
+// finished Exec-path query folds its latency into a bounded
+// per-statement aggregate, queryable as the sys_query_stats virtual
+// relation. Off by default — the aggregate costs one mutex-guarded
+// map update per query.
+func WithQueryStats() Option {
+	return func(k *KB) {
+		qs := sysrel.NewQueryStats(0)
+		k.qstats.Store(qs)
+		k.sys.SetQueryStats(qs)
+	}
+}
+
+// WithoutSystemRelations disables the sys_* virtual relations: the
+// provider is dropped and sys_ predicates behave like any other
+// unknown predicate in queries (the namespace itself stays reserved —
+// definitions and asserts are still rejected). Mainly for measuring
+// the provider's overhead; there is no cost to leaving it on for
+// programs that never mention sys_*.
+func WithoutSystemRelations() Option {
+	// Construction-time: the KB is not yet published to any other
+	// goroutine when options run.
+	return func(k *KB) { k.sys = nil } //kdb:nolint lockcheck
 }
 
 // WithQueryLog attaches a structured query log: every finished query
@@ -50,12 +86,18 @@ func WithQueryLog(l *obs.QueryLog) Option {
 // The registry may be shared across KBs (the server registers every
 // tenant's queries in one).
 func WithActivity(reg *obs.ActivityRegistry) Option {
-	return func(k *KB) { k.activity.Store(reg) }
+	return func(k *KB) {
+		k.activity.Store(reg)
+		k.sys.SetActivity(reg)
+	}
 }
 
 // SetActivityRegistry attaches (or, given nil, detaches) the in-flight
 // query registry at runtime; it takes effect on the next query.
-func (k *KB) SetActivityRegistry(reg *obs.ActivityRegistry) { k.activity.Store(reg) }
+func (k *KB) SetActivityRegistry(reg *obs.ActivityRegistry) {
+	k.activity.Store(reg)
+	k.sys.SetActivity(reg)
+}
 
 // ActivityRegistry returns the attached in-flight query registry, or
 // nil.
@@ -123,15 +165,16 @@ func (k *KB) beginActivity(ctx context.Context, kind, stmt string) (context.Cont
 // owns trace retention; otherwise a fresh root is started on the KB's
 // tracer and finished there. The returned finish func ends the scope;
 // call it exactly once with the statement kind, the statement text, and
-// the query's error. When no tracer, metrics, or query log is
-// configured — or when the context is already inside an observed
-// query — ctx comes back untouched and finish is nil, keeping the
-// disabled path free of allocations.
+// the query's error. When no tracer, metrics, query log, or query
+// statistics is configured — or when the context is already inside an
+// observed query — ctx comes back untouched and finish is nil, keeping
+// the disabled path free of allocations.
 func (k *KB) beginQuery(ctx context.Context) (context.Context, func(kind, stmt string, err error)) {
 	tr := k.tracer.Load()
 	qm := k.qmetrics.Load()
 	ql := k.qlog.Load()
-	if (tr == nil && qm == nil && ql == nil) || ctx.Value(queryMark{}) != nil {
+	qs := k.qstats.Load()
+	if (tr == nil && qm == nil && ql == nil && qs == nil) || ctx.Value(queryMark{}) != nil {
 		return ctx, nil
 	}
 	ctx = context.WithValue(ctx, queryMark{}, true)
@@ -154,6 +197,7 @@ func (k *KB) beginQuery(ctx context.Context) (context.Context, func(kind, stmt s
 	ci, _ := obs.ClientFromContext(ctx)
 	return ctx, func(kind, stmt string, err error) {
 		d := time.Since(start)
+		qs.Observe(stmt, d)
 		stop := governor.StopReason(err)
 		if stop == "error" {
 			stop = "" // plain failures are not governed stops

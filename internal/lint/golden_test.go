@@ -28,3 +28,7 @@ func TestHotPathGolden(t *testing.T) {
 func TestFaultSiteGolden(t *testing.T) {
 	runGolden(t, "internal/lint/testdata/src/faultsite/internal/storage", FaultSite)
 }
+
+func TestMetricRegGolden(t *testing.T) {
+	runGolden(t, "internal/lint/testdata/src/metricreg", MetricReg)
+}

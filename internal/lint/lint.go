@@ -96,7 +96,7 @@ func (p *Pass) PathHasSuffix(suffixes ...string) bool {
 
 // All returns every analyzer in the suite, in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{LockCheck, ErrWrap, CtxFlow, HotPath, FaultSite}
+	return []*Analyzer{LockCheck, ErrWrap, CtxFlow, HotPath, FaultSite, MetricReg}
 }
 
 // Run executes the analyzers over the loaded packages and returns the

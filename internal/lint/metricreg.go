@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// registryMakers are the obs.Registry methods that create instruments.
+var registryMakers = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+// MetricReg keeps the metrics catalog self-describing as it grows:
+// every instrument registered with a constant name (Counter, Gauge,
+// Histogram on the obs registry) must have its HELP text set exactly
+// once in the same package, and never set empty. A metric without HELP
+// renders as a bare name on /metrics — undocumented telemetry — and a
+// second SetHelp for the same name silently overwrites the first, so
+// both are findings. Dynamic metric names are out of reach and skipped.
+var MetricReg = &Analyzer{
+	Name: "metricreg",
+	Doc: "every obs metric registered with a constant name must have\n" +
+		"non-empty HELP text set exactly once in its package, keeping\n" +
+		"the /metrics surface self-describing as instruments grow",
+	Run: runMetricReg,
+}
+
+func runMetricReg(pass *Pass) error {
+	// Pass 1: index the package's SetHelp calls by constant metric name.
+	helped := map[string]token.Pos{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isRegistryMethod(pass, call, "SetHelp") || len(call.Args) != 2 {
+				return true
+			}
+			name, ok := constString(pass, call.Args[0])
+			if !ok {
+				return true
+			}
+			if help, ok := constString(pass, call.Args[1]); ok && help == "" {
+				pass.Reportf(call.Pos(), "metric %q registered with empty HELP text", name)
+			}
+			if first, dup := helped[name]; dup {
+				pass.Reportf(call.Pos(), "HELP for metric %q set more than once in this package (first at %s)",
+					name, pass.Fset.Position(first))
+				return true
+			}
+			helped[name] = call.Pos()
+			return true
+		})
+	}
+	// Pass 2: every constant-named instrument must be covered.
+	reported := map[string]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeObj(pass.Info, call)
+			if callee == nil || !registryMakers[callee.Name()] || !isRegistryMethod(pass, call, callee.Name()) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			name, ok := constString(pass, call.Args[0])
+			if !ok || reported[name] {
+				return true
+			}
+			if _, ok := helped[name]; !ok {
+				reported[name] = true
+				pass.Reportf(call.Pos(), "metric %q is registered without HELP text; call SetHelp(%q, ...) in this package", name, name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRegistryMethod reports whether call invokes the named method on the
+// obs metrics registry (or its testdata replica).
+func isRegistryMethod(pass *Pass, call *ast.CallExpr, method string) bool {
+	callee := calleeObj(pass.Info, call)
+	if callee == nil || callee.Name() != method {
+		return false
+	}
+	if !pathIs(pkgPathOf(callee), "internal/obs") {
+		return false
+	}
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+// constString resolves an expression to its constant string value.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

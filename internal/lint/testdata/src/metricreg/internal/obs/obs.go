@@ -1,0 +1,30 @@
+// Package obs is a minimal replica of the metrics registry for the
+// metricreg golden corpus; its import path ends in internal/obs, so
+// the analyzer treats its Registry as the real one.
+package obs
+
+// Registry mirrors the real registry's instrument constructors.
+type Registry struct{}
+
+// Counter is a stub instrument.
+type Counter struct{}
+
+// Gauge is a stub instrument.
+type Gauge struct{}
+
+// Histogram is a stub instrument.
+type Histogram struct{}
+
+// SetHelp records HELP text for a metric name.
+func (r *Registry) SetHelp(name, help string) {}
+
+// Counter returns the named counter.
+func (r *Registry) Counter(name string, labelPairs ...string) *Counter { return nil }
+
+// Gauge returns the named gauge.
+func (r *Registry) Gauge(name string, labelPairs ...string) *Gauge { return nil }
+
+// Histogram returns the named histogram.
+func (r *Registry) Histogram(name string, bounds []float64, labelPairs ...string) *Histogram {
+	return nil
+}

@@ -1,0 +1,31 @@
+// Package metricreg is the golden corpus for the metricreg analyzer:
+// constant-named instruments need exactly one non-empty SetHelp in the
+// package; dynamic names are out of reach.
+package metricreg
+
+import "kdb/internal/lint/testdata/src/metricreg/internal/obs"
+
+const ratioName = "app_hit_ratio"
+
+func register(reg *obs.Registry) {
+	reg.SetHelp("app_requests_total", "Requests served.")
+	reg.Counter("app_requests_total", "route", "index") // covered
+
+	reg.Counter("app_orphans_total") // want "metric .app_orphans_total. is registered without HELP text"
+
+	reg.SetHelp("app_empty_total", "") // want "metric .app_empty_total. registered with empty HELP text"
+	reg.Counter("app_empty_total")     // has HELP (empty, flagged above), so no second finding
+
+	reg.SetHelp("app_dup_total", "First.")
+	reg.SetHelp("app_dup_total", "Second.") // want "HELP for metric .app_dup_total. set more than once"
+	reg.Counter("app_dup_total")
+
+	reg.SetHelp(ratioName, "Cache hit ratio.")
+	reg.Gauge(ratioName) // covered through the named constant
+
+	reg.Histogram("app_latency_seconds", nil) // want "metric .app_latency_seconds. is registered without HELP text"
+
+	reg.Gauge(dynamicName()) // dynamic name: skipped
+}
+
+func dynamicName() string { return "app_dynamic" }

@@ -138,7 +138,7 @@ func TestAnalyzerMetadata(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 5 {
-		t.Errorf("want 5 analyzers, have %d", len(seen))
+	if len(seen) != 6 {
+		t.Errorf("want 6 analyzers, have %d", len(seen))
 	}
 }

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestObserveExemplarExpositionRace hammers a histogram with
+// exemplar-carrying observations while the registry is concurrently
+// rendered (Prometheus text) and snapshotted. Run under -race this
+// proves the exemplar slots — lazily allocated inside the histogram —
+// are published safely to readers; without synchronization the lazy
+// `exemplars` slice and its per-bucket updates are a data race with
+// exposition.
+func TestObserveExemplarExpositionRace(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetHelp("race_seconds", "Exemplar race test histogram.")
+	bounds := []float64{0.001, 0.01, 0.1, 1}
+
+	const writers, rounds = 4, 500
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			<-start
+			// Re-fetch the instrument each round: registration must be
+			// race-free too.
+			for i := 0; i < rounds; i++ {
+				h := reg.Histogram("race_seconds", bounds, "writer", string(rune('a'+seed)))
+				h.ObserveExemplar(float64(i%7)/100, seed*uint64(rounds)+uint64(i)+1)
+			}
+		}(uint64(w))
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < rounds; i++ {
+			if err := reg.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < rounds; i++ {
+			_ = reg.Snapshot()
+		}
+	}()
+	close(start)
+	wg.Wait()
+
+	// The final exposition must still be well-formed.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatalf("final WritePrometheus: %v", err)
+	}
+	if err := ValidatePrometheus(sb.String()); err != nil {
+		t.Fatalf("exposition does not parse after concurrent exemplars: %v", err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package history keeps a bounded in-memory time series of a metrics
+// registry: a ticker samples every series in the registry's snapshot
+// into a fixed-capacity ring per series. The buffer backs the
+// sys_metric_history virtual relation, the GET /v1/debug/history
+// endpoint, and the sparkline columns of `kdb top`.
+//
+// Memory is bounded by construction: at most MaxSeries rings, each
+// holding retention/resolution samples, regardless of how long the
+// process runs or how many labels the registry accumulates (asserted
+// by TestBufferMemoryBounded).
+package history
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"kdb/internal/obs"
+)
+
+// Defaults applied by New when the corresponding argument is zero or
+// negative.
+const (
+	DefaultResolution = 5 * time.Second
+	DefaultRetention  = 10 * time.Minute
+	// DefaultMaxSeries caps how many distinct series the buffer tracks;
+	// series beyond the cap are counted (Dropped) but not stored.
+	DefaultMaxSeries = 512
+)
+
+// Sample is one observation of one series.
+type Sample struct {
+	At    time.Time
+	Value float64
+}
+
+// Series is the retained window of one metric series, oldest first.
+type Series struct {
+	Name    string // canonical id: obs.SeriesID(name, labels)
+	Type    string // "counter" | "gauge" | "histogram"
+	Samples []Sample
+}
+
+// ring is a fixed-capacity circular buffer of samples.
+type ring struct {
+	typ  string
+	buf  []Sample
+	head int // index of the oldest sample
+	n    int
+}
+
+func (r *ring) push(s Sample) {
+	if r.n < len(r.buf) {
+		r.buf[(r.head+r.n)%len(r.buf)] = s
+		r.n++
+		return
+	}
+	r.buf[r.head] = s
+	r.head = (r.head + 1) % len(r.buf)
+}
+
+func (r *ring) samples() []Sample {
+	out := make([]Sample, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Buffer samples a registry on a ticker into per-series rings. All
+// methods are safe for concurrent use and nil-receiver safe, so an
+// unconfigured buffer costs a single pointer check.
+type Buffer struct {
+	reg        *obs.Registry
+	resolution time.Duration
+	retention  time.Duration
+	slots      int
+	maxSeries  int
+
+	mu      sync.Mutex
+	series  map[string]*ring
+	dropped int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New returns a buffer sampling reg every resolution, retaining
+// retention worth of samples per series (retention/resolution slots,
+// at least one). Non-positive arguments take the package defaults.
+// Call Start to begin sampling on a ticker, or Sample directly.
+func New(reg *obs.Registry, resolution, retention time.Duration) *Buffer {
+	if resolution <= 0 {
+		resolution = DefaultResolution
+	}
+	if retention <= 0 {
+		retention = DefaultRetention
+	}
+	slots := int(retention / resolution)
+	if slots < 1 {
+		slots = 1
+	}
+	return &Buffer{
+		reg:        reg,
+		resolution: resolution,
+		retention:  retention,
+		slots:      slots,
+		maxSeries:  DefaultMaxSeries,
+		series:     make(map[string]*ring),
+	}
+}
+
+// SetMaxSeries caps the number of distinct series tracked (default
+// DefaultMaxSeries); call it before Start. n < 1 is clamped to 1.
+func (b *Buffer) SetMaxSeries(n int) {
+	if n < 1 {
+		n = 1
+	}
+	b.mu.Lock()
+	b.maxSeries = n
+	b.mu.Unlock()
+}
+
+// Resolution returns the sampling interval.
+func (b *Buffer) Resolution() time.Duration {
+	if b == nil {
+		return 0
+	}
+	return b.resolution
+}
+
+// Retention returns the retained window per series.
+func (b *Buffer) Retention() time.Duration {
+	if b == nil {
+		return 0
+	}
+	return b.retention
+}
+
+// Start launches the sampling ticker. A second Start is a no-op. Nil
+// receivers ignore the call.
+func (b *Buffer) Start() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.stop != nil {
+		b.mu.Unlock()
+		return
+	}
+	b.stop = make(chan struct{})
+	b.done = make(chan struct{})
+	stop, done := b.stop, b.done
+	b.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(b.resolution)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				b.Sample()
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker and waits for the sampling goroutine to exit.
+// Safe to call without Start, more than once, and on nil.
+func (b *Buffer) Stop() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	stop, done := b.stop, b.done
+	b.stop, b.done = nil, nil
+	b.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Sample records one observation of every series in the registry's
+// current snapshot. Counters and gauges record their value; histograms
+// record their cumulative observation count (the same convention the
+// sys_metric relation uses).
+func (b *Buffer) Sample() {
+	if b == nil || b.reg == nil {
+		return
+	}
+	now := time.Now()
+	pts := b.reg.Snapshot()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, p := range pts {
+		key := obs.SeriesID(p.Name, p.Labels)
+		r := b.series[key]
+		if r == nil {
+			if len(b.series) >= b.maxSeries {
+				b.dropped++
+				continue
+			}
+			r = &ring{typ: p.Type, buf: make([]Sample, b.slots)}
+			b.series[key] = r
+		}
+		v := p.Value
+		if p.Type == "histogram" {
+			v = float64(p.Count)
+		}
+		r.push(Sample{At: now, Value: v})
+	}
+}
+
+// Snapshot returns every retained series, sorted by name, samples
+// oldest first. Nil receivers return nil.
+func (b *Buffer) Snapshot() []Series {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Series, 0, len(b.series))
+	for name, r := range b.series {
+		out = append(out, Series{Name: name, Type: r.typ, Samples: r.samples()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Dropped reports how many samples were discarded because the series
+// cap was reached — the observable face of the memory bound.
+func (b *Buffer) Dropped() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}

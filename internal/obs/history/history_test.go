@@ -1,0 +1,131 @@
+package history
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"kdb/internal/obs"
+)
+
+func TestRingWrapsAndOrders(t *testing.T) {
+	r := &ring{buf: make([]Sample, 3)}
+	for i := 0; i < 5; i++ {
+		r.push(Sample{Value: float64(i)})
+	}
+	got := r.samples()
+	if len(got) != 3 {
+		t.Fatalf("ring holds %d samples, want 3", len(got))
+	}
+	for i, want := range []float64{2, 3, 4} {
+		if got[i].Value != want {
+			t.Errorf("sample %d = %v, want %v (oldest first)", i, got[i].Value, want)
+		}
+	}
+}
+
+func TestBufferSamplesRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetHelp("g", "test gauge")
+	g := reg.Gauge("g")
+	b := New(reg, time.Second, 10*time.Second)
+	g.Set(1)
+	b.Sample()
+	g.Set(2)
+	b.Sample()
+	snap := b.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("got %d series, want 1: %+v", len(snap), snap)
+	}
+	s := snap[0]
+	if s.Name != "g" || s.Type != "gauge" {
+		t.Fatalf("series = %q type %q, want g/gauge", s.Name, s.Type)
+	}
+	if len(s.Samples) != 2 || s.Samples[0].Value != 1 || s.Samples[1].Value != 2 {
+		t.Fatalf("samples = %+v, want [1 2]", s.Samples)
+	}
+}
+
+func TestBufferHistogramRecordsCount(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetHelp("h", "test histogram")
+	h := reg.Histogram("h", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	b := New(reg, time.Second, time.Minute)
+	b.Sample()
+	snap := b.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("got %d series, want 1", len(snap))
+	}
+	if got := snap[0].Samples[0].Value; got != 2 {
+		t.Fatalf("histogram sample = %v, want the cumulative count 2", got)
+	}
+}
+
+// TestBufferMemoryBounded asserts the buffer's two memory bounds: the
+// per-series ring never exceeds retention/resolution slots no matter
+// how many samples arrive, and the series map never exceeds the
+// configured cap no matter how many distinct label sets the registry
+// grows.
+func TestBufferMemoryBounded(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetHelp("c", "test counter")
+	b := New(reg, time.Second, 4*time.Second) // 4 slots per series
+	b.SetMaxSeries(8)
+	for i := 0; i < 32; i++ {
+		// A fresh label set per iteration: an unbounded-cardinality metric.
+		reg.Counter("c", "shard", fmt.Sprint(i)).Inc()
+		b.Sample()
+		b.Sample()
+	}
+	b.mu.Lock()
+	nSeries, dropped := len(b.series), b.dropped
+	maxRing := 0
+	for _, r := range b.series {
+		if len(r.buf) > 4 {
+			t.Errorf("ring capacity %d exceeds the 4 retention slots", len(r.buf))
+		}
+		if r.n > maxRing {
+			maxRing = r.n
+		}
+	}
+	b.mu.Unlock()
+	if nSeries > 8 {
+		t.Errorf("buffer tracks %d series, want at most the cap of 8", nSeries)
+	}
+	if dropped == 0 {
+		t.Error("expected drops once the series cap was hit, got none")
+	}
+	if maxRing > 4 {
+		t.Errorf("a ring holds %d samples, want at most 4", maxRing)
+	}
+}
+
+func TestBufferStartStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetHelp("g", "test gauge")
+	reg.Gauge("g").Set(7)
+	b := New(reg, time.Millisecond, time.Second)
+	b.Start()
+	b.Start() // second Start is a no-op
+	deadline := time.Now().Add(2 * time.Second)
+	for len(b.Snapshot()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ticker never sampled the registry")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Stop()
+	b.Stop() // idempotent
+}
+
+func TestBufferNilSafe(t *testing.T) {
+	var b *Buffer
+	b.Sample()
+	b.Start()
+	b.Stop()
+	if b.Snapshot() != nil || b.Dropped() != 0 || b.Resolution() != 0 || b.Retention() != 0 {
+		t.Error("nil buffer must be inert")
+	}
+}

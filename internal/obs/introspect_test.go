@@ -204,6 +204,49 @@ func TestRotatingWriterUnbounded(t *testing.T) {
 	}
 }
 
+// TestRotatingWriterReopen is the logrotate handshake: an external
+// rotator renames the live file, the process reopens on signal, and
+// subsequent writes land in a fresh file at the configured path.
+func TestRotatingWriterReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.log")
+	w, err := NewRotatingWriter(path, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.Write([]byte("before\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(path, path+".rotated"); err != nil {
+		t.Fatal(err)
+	}
+	// Until the reopen, writes still go to the renamed inode.
+	if _, err := w.Write([]byte("limbo\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("after\n")); err != nil {
+		t.Fatal(err)
+	}
+	old, err := os.ReadFile(path + ".rotated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(old) != "before\nlimbo\n" {
+		t.Errorf("rotated file = %q", old)
+	}
+	fresh, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no fresh file after reopen: %v", err)
+	}
+	if string(fresh) != "after\n" {
+		t.Errorf("fresh file = %q", fresh)
+	}
+}
+
 // --- Activity registry ----------------------------------------------
 
 // TestActivityRegistry covers the in-flight lifecycle: Begin lists the

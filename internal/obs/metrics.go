@@ -265,6 +265,37 @@ func renderLabels(pairs []string) string {
 	return b.String()
 }
 
+// SeriesID renders the canonical identity of one time series: the bare
+// metric name when it carries no labels, or name{k="v",…} with the
+// labels sorted by key — the same order and escaping the Prometheus
+// exposition uses. The metrics-history buffer and the sys_metric /
+// sys_metric_history virtual relations all key series this way, so a
+// Datalog join between them matches textually.
+func SeriesID(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
 func escapeLabel(v string) string {
 	v = strings.ReplaceAll(v, `\`, `\\`)
 	v = strings.ReplaceAll(v, "\n", `\n`)

@@ -84,6 +84,33 @@ func (w *RotatingWriter) rotate() error {
 	return nil
 }
 
+// Reopen closes the current file and reopens path for appending,
+// re-reading its size. It is the logrotate handshake: an external
+// rotator renames the file, signals the process (kdb handles SIGHUP),
+// and writes continue into a fresh file at the configured path. Safe
+// to call concurrently with Write; a failed reopen leaves the writer
+// with its previous (closed) file, so later writes report the error
+// rather than silently dropping records.
+func (w *RotatingWriter) Reopen() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	w.f = f
+	w.size = st.Size()
+	return nil
+}
+
 // Close closes the current file.
 func (w *RotatingWriter) Close() error {
 	w.mu.Lock()

@@ -1,0 +1,343 @@
+// Package sysrel serves the sys_* virtual relations: the engine's own
+// telemetry — catalog, rules, metrics, metric history, in-flight
+// activity, query statistics, tenants — exposed as ordinary relations,
+// so the full Datalog stack (retrieve, describe, explain, profile)
+// works on the engine itself. A Provider is long-lived and holds the
+// telemetry sources; each query takes a short-lived View that
+// materializes one read-only snapshot per referenced relation.
+//
+// Sources are read directly (storage store, metrics registry, activity
+// registry, history buffer) — never through the knowledge-base layer,
+// whose locks the querying goroutine already holds.
+package sysrel
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"kdb/internal/depgraph"
+	"kdb/internal/obs"
+	"kdb/internal/obs/history"
+	"kdb/internal/parser"
+	"kdb/internal/storage"
+	"kdb/internal/term"
+)
+
+// Prefix reserves the namespace: no user predicate may start with it.
+const Prefix = "sys_"
+
+// IsName reports whether pred lies in the reserved sys_ namespace.
+// It is called on hot paths and must not allocate.
+func IsName(pred string) bool { return strings.HasPrefix(pred, Prefix) }
+
+// Def describes one virtual relation: its schema and what it means,
+// backing `describe sys_…` and arity validation.
+type Def struct {
+	Name  string
+	Arity int
+	Args  []string
+	Doc   string
+}
+
+// Signature renders the relation with its argument names,
+// e.g. "sys_metric(Name, Kind, Value)".
+func (d *Def) Signature() string {
+	return d.Name + "(" + strings.Join(d.Args, ", ") + ")"
+}
+
+// defs lists every virtual relation, in a stable order.
+var defs = []Def{
+	{
+		Name: "sys_relation", Arity: 3, Args: []string{"Name", "Arity", "Facts"},
+		Doc: "one row per stored relation: its name, arity, and current fact count",
+	},
+	{
+		Name: "sys_rule", Arity: 4, Args: []string{"Id", "Head", "BodyLen", "Scc"},
+		Doc: "one row per loaded rule: its id (load order), head predicate, body length, and the index of its strongly connected component in dependency order",
+	},
+	{
+		Name: "sys_metric", Arity: 3, Args: []string{"Name", "Kind", "Value"},
+		Doc: "one row per metric series: its canonical name (labels rendered Prometheus-style), kind (counter, gauge, or histogram), and current value — for histograms, the cumulative observation count",
+	},
+	{
+		Name: "sys_metric_history", Arity: 3, Args: []string{"Name", "AgeSeconds", "Value"},
+		Doc: "one row per retained history sample: series name, the sample's age in whole seconds at snapshot time, and its value (histograms record their cumulative count)",
+	},
+	{
+		Name: "sys_activity", Arity: 4, Args: []string{"Id", "Kind", "Tenant", "ElapsedUs"},
+		Doc: "one row per in-flight query: its activity id, statement kind, tenant, and elapsed microseconds at snapshot time",
+	},
+	{
+		Name: "sys_query_stats", Arity: 4, Args: []string{"Stmt", "Count", "TotalUs", "MaxUs"},
+		Doc: "one row per distinct finished statement (requires WithQueryStats): executions, total and maximum latency in microseconds; statements beyond the cap aggregate under \"(other)\"",
+	},
+	{
+		Name: "sys_tenant", Arity: 4, Args: []string{"Name", "Open", "Degraded", "Poisoned"},
+		Doc: "one row per server tenant (server-side only): 1/0 flags for whether it is open, degraded to read-only by its circuit breaker, and poisoned by a durability error",
+	},
+}
+
+var defByName = func() map[string]*Def {
+	m := make(map[string]*Def, len(defs))
+	for i := range defs {
+		m[defs[i].Name] = &defs[i]
+	}
+	return m
+}()
+
+// Defs returns every virtual relation definition, in a stable order.
+// The result is shared; callers must not mutate it.
+func Defs() []Def { return defs }
+
+// Lookup returns the definition of one virtual relation, or nil.
+func Lookup(pred string) *Def { return defByName[pred] }
+
+// TenantInfo is one row of sys_tenant, reported by the server's
+// tenant source.
+type TenantInfo struct {
+	Name     string
+	Open     bool
+	Degraded bool
+	Poisoned bool
+}
+
+// Provider holds the telemetry sources behind the sys_* relations. The
+// zero value serves the catalog-shaped relations (sys_relation,
+// sys_rule) and empty rows for the rest; sources are attached with the
+// Set* methods, which are safe to call at any time (each query's view
+// reads them once). All methods are nil-receiver safe.
+type Provider struct {
+	reg     atomic.Pointer[obs.Registry]
+	hist    atomic.Pointer[history.Buffer]
+	act     atomic.Pointer[obs.ActivityRegistry]
+	stats   atomic.Pointer[QueryStats]
+	tenants atomic.Pointer[func() []TenantInfo]
+}
+
+// NewProvider returns an empty provider.
+func NewProvider() *Provider { return &Provider{} }
+
+// SetRegistry attaches the metrics registry behind sys_metric.
+func (p *Provider) SetRegistry(r *obs.Registry) {
+	if p == nil {
+		return
+	}
+	p.reg.Store(r)
+}
+
+// SetHistory attaches the history buffer behind sys_metric_history.
+func (p *Provider) SetHistory(b *history.Buffer) {
+	if p == nil {
+		return
+	}
+	p.hist.Store(b)
+}
+
+// SetActivity attaches the in-flight registry behind sys_activity.
+func (p *Provider) SetActivity(r *obs.ActivityRegistry) {
+	if p == nil {
+		return
+	}
+	p.act.Store(r)
+}
+
+// SetQueryStats attaches the statement statistics behind
+// sys_query_stats.
+func (p *Provider) SetQueryStats(s *QueryStats) {
+	if p == nil {
+		return
+	}
+	p.stats.Store(s)
+}
+
+// QueryStats returns the attached statement statistics, or nil.
+func (p *Provider) QueryStats() *QueryStats {
+	if p == nil {
+		return nil
+	}
+	return p.stats.Load()
+}
+
+// SetTenants attaches the tenant source behind sys_tenant (the server
+// installs one; standalone KBs leave the relation empty). The source
+// must not call back into the knowledge-base layer.
+func (p *Provider) SetTenants(fn func() []TenantInfo) {
+	if p == nil || fn == nil {
+		return
+	}
+	p.tenants.Store(&fn)
+}
+
+// View captures one query's sources: the store and rule set it runs
+// against plus the provider's telemetry. It satisfies eval.Virtual;
+// Snapshot materializes each relation at most once per query (the
+// planner deduplicates), which is what gives sys_* joins their
+// read-consistent, engine-independent semantics.
+type View struct {
+	p     *Provider
+	store *storage.Store
+	rules []term.Rule
+}
+
+// View returns the per-query view over store and rules. The rules
+// slice is captured as-is; callers pass the same snapshot the engines
+// evaluate.
+func (p *Provider) View(store *storage.Store, rules []term.Rule) *View {
+	if p == nil {
+		return nil
+	}
+	return &View{p: p, store: store, rules: rules}
+}
+
+// IsVirtual reports whether pred is a served virtual relation. It does
+// not allocate (a prefix check plus one map read).
+func (v *View) IsVirtual(pred string) bool {
+	return v != nil && IsName(pred) && defByName[pred] != nil
+}
+
+// Snapshot materializes the current contents of one virtual relation.
+func (v *View) Snapshot(pred string) (*storage.Relation, error) {
+	d := Lookup(pred)
+	if v == nil || d == nil {
+		return nil, fmt.Errorf("sysrel: unknown system relation %s", pred)
+	}
+	rel, err := storage.NewRelation(d.Arity)
+	if err != nil {
+		return nil, err
+	}
+	ins := func(args ...term.Term) error {
+		_, err := rel.Insert(storage.Tuple(args))
+		return err
+	}
+	switch pred {
+	case "sys_relation":
+		if v.store != nil {
+			for _, name := range v.store.Preds() {
+				r := v.store.Relation(name)
+				if r == nil {
+					continue
+				}
+				if err := ins(symOrStr(name), term.Num(float64(r.Arity())), term.Num(float64(r.Len()))); err != nil {
+					return nil, err
+				}
+			}
+		}
+	case "sys_rule":
+		scc := sccIndex(v.rules)
+		for i, r := range v.rules {
+			if err := ins(term.Num(float64(i)), symOrStr(r.Head.Pred),
+				term.Num(float64(len(r.Body))), term.Num(float64(scc[r.Head.Pred]))); err != nil {
+				return nil, err
+			}
+		}
+	case "sys_metric":
+		if reg := v.p.reg.Load(); reg != nil {
+			for _, pt := range reg.Snapshot() {
+				val := pt.Value
+				if pt.Type == "histogram" {
+					val = float64(pt.Count)
+				}
+				if err := ins(symOrStr(obs.SeriesID(pt.Name, pt.Labels)),
+					term.Sym(pt.Type), term.Num(val)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	case "sys_metric_history":
+		if h := v.p.hist.Load(); h != nil {
+			now := time.Now()
+			for _, s := range h.Snapshot() {
+				for _, sm := range s.Samples {
+					age := int64(now.Sub(sm.At) / time.Second)
+					if age < 0 {
+						age = 0
+					}
+					if err := ins(symOrStr(s.Name), term.Num(float64(age)), term.Num(sm.Value)); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	case "sys_activity":
+		if a := v.p.act.Load(); a != nil {
+			for _, q := range a.Snapshot() {
+				if err := ins(term.Num(float64(q.ID)), symOrStr(q.Kind),
+					symOrStr(q.Tenant), term.Num(q.ElapsedMS*1000)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	case "sys_query_stats":
+		if s := v.p.stats.Load(); s != nil {
+			for _, row := range s.Snapshot() {
+				if err := ins(term.Str(row.Statement), term.Num(float64(row.Count)),
+					term.Num(float64(row.TotalUs)), term.Num(float64(row.MaxUs))); err != nil {
+					return nil, err
+				}
+			}
+		}
+	case "sys_tenant":
+		if fn := v.p.tenants.Load(); fn != nil {
+			for _, t := range (*fn)() {
+				if err := ins(symOrStr(t.Name), boolTerm(t.Open),
+					boolTerm(t.Degraded), boolTerm(t.Poisoned)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return rel, nil
+}
+
+// sccIndex maps each rule-head predicate to the index of its strongly
+// connected component in dependency order, so sys_rule rows can be
+// grouped and ordered by evaluation stratum.
+func sccIndex(rules []term.Rule) map[string]int {
+	idx := make(map[string]int)
+	for i, comp := range depgraph.New(rules).SCCOrder() {
+		for _, pred := range comp {
+			idx[pred] = i
+		}
+	}
+	return idx
+}
+
+// symOrStr renders a telemetry string as a symbol when it is shaped
+// like one (lowercase identifier, not a reserved word) so it joins
+// with bare atoms users type, and as a string constant otherwise.
+func symOrStr(s string) term.Term {
+	if isSymbolName(s) {
+		return term.Sym(s)
+	}
+	return term.Str(s)
+}
+
+func isSymbolName(s string) bool {
+	if s == "" || parser.IsReserved(s) {
+		return false
+	}
+	c := s[0]
+	if c < 'a' || c > 'z' {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// boolTerm encodes a flag as 1/0: "true" is a reserved word, so a
+// symbol would be untypable in queries, while numbers join and compare
+// (sys_tenant(N, _, D, _), D > 0) naturally.
+func boolTerm(b bool) term.Term {
+	if b {
+		return term.Num(1)
+	}
+	return term.Num(0)
+}

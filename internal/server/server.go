@@ -19,6 +19,7 @@
 //	GET  /v1/kbs                  list open knowledge bases
 //	GET  /v1/debug/activity       in-flight queries across all tenants
 //	POST /v1/debug/activity/{id}/cancel   cancel one in-flight query
+//	GET  /v1/debug/history        retained metrics history (ring buffer)
 //
 // plus the obs debug surface (/metrics, /debug/vars, /debug/pprof/*)
 // on the same mux.
@@ -52,6 +53,8 @@ import (
 	"kdb/internal/governor"
 	"kdb/internal/kb"
 	"kdb/internal/obs"
+	"kdb/internal/obs/history"
+	"kdb/internal/obs/sysrel"
 	"kdb/internal/parser"
 	"kdb/internal/storage"
 	"kdb/internal/term"
@@ -82,6 +85,14 @@ type Config struct {
 	// Registry collects the server's and every tenant's metrics; nil
 	// creates a private registry.
 	Registry *obs.Registry
+	// HistoryResolution is the sampling interval of the metrics-history
+	// ring buffer behind sys_metric_history and /v1/debug/history
+	// (default 5s).
+	HistoryResolution time.Duration
+	// HistoryRetention is how far back the metrics history reaches
+	// (default 10m). Memory is bounded by retention/resolution samples
+	// per series.
+	HistoryRetention time.Duration
 	// Tracer, when set, records a "serve" span tree per request.
 	Tracer *obs.Tracer
 	// QueryLog, when set, receives one record per query, with the
@@ -127,6 +138,10 @@ type Server struct {
 	activity *obs.ActivityRegistry
 	build    obs.BuildInfo
 
+	// history samples the registry on a ticker; it backs every tenant's
+	// sys_metric_history relation and /v1/debug/history.
+	history *history.Buffer
+
 	requests  func(route, code string) *obs.Counter
 	durations func(route string) *obs.Histogram
 }
@@ -165,6 +180,8 @@ func New(cfg Config) (*Server, error) {
 	}
 	s := &Server{cfg: cfg, reg: reg}
 	s.activity = obs.NewActivityRegistry()
+	s.history = history.New(reg, cfg.HistoryResolution, cfg.HistoryRetention)
+	s.history.Start()
 	s.build = obs.RegisterBuildInfo(reg)
 	s.inflight = newAdmission(cfg.MaxInFlight, reg)
 	s.breakers = newBreakers(cfg.BreakerThreshold, cfg.BreakerCooldown, reg)
@@ -217,6 +234,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/kb/{name}/checkpoint", s.admit(s.handleCheckpoint))
 	mux.HandleFunc("GET /v1/debug/activity", s.handleActivity)
 	mux.HandleFunc("POST /v1/debug/activity/{id}/cancel", s.handleActivityCancel)
+	mux.HandleFunc("GET /v1/debug/history", s.handleHistory)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	s.mux = mux
@@ -236,6 +254,10 @@ func (s *Server) openKB(name string) (*kb.KB, error) {
 		// Every tenant shares the server's activity registry, so
 		// /v1/debug/activity sees the whole process at once.
 		kb.WithActivity(s.activity),
+		// Likewise the shared history buffer (sys_metric_history) and
+		// per-tenant statement statistics (sys_query_stats).
+		kb.WithMetricsHistory(s.history),
+		kb.WithQueryStats(),
 	}
 	if s.cfg.Tracer != nil {
 		opts = append(opts, kb.WithTracer(s.cfg.Tracer))
@@ -261,7 +283,41 @@ func (s *Server) openKB(name string) (*kb.KB, error) {
 		k.Close()
 		return nil, err
 	}
+	// Every tenant's sys_tenant relation sees the whole server, like
+	// /healthz does.
+	k.SystemRelations().SetTenants(s.tenantRows)
 	return k, nil
+}
+
+// tenantRows is the sys_tenant source installed on every tenant KB. It
+// runs inside query evaluation — the querying goroutine holds its KB's
+// read lock — so it touches only lock-free or internally synchronized
+// state: the manager's published view (never m.mu, which Close holds
+// while draining queries), the breakers, and each store's own
+// durability state (never kb.DurabilityErr, which read-locks the KB).
+func (s *Server) tenantRows() []sysrel.TenantInfo {
+	open := s.tenants.View()
+	seen := make(map[string]bool, len(open))
+	out := make([]sysrel.TenantInfo, 0, len(open))
+	for name, k := range open {
+		seen[name] = true
+		st := s.breakers.state(name)
+		out = append(out, sysrel.TenantInfo{
+			Name:     name,
+			Open:     true,
+			Degraded: st != "closed",
+			Poisoned: k.Store().DurabilityErr() != nil,
+		})
+	}
+	for _, name := range s.breakers.tracked() {
+		if seen[name] {
+			continue
+		}
+		st := s.breakers.state(name)
+		out = append(out, sysrel.TenantInfo{Name: name, Degraded: st != "closed"})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // admit wraps a data-plane handler with admission control: when every
@@ -287,8 +343,13 @@ func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Close shuts the server's tenants down: the janitor stops and every
-// open KB is closed (waiting for in-flight queries to drain).
-func (s *Server) Close() error { return s.tenants.Close() }
+// open KB is closed (waiting for in-flight queries to drain). The
+// metrics-history sampler stops last, once no query can reference it.
+func (s *Server) Close() error {
+	err := s.tenants.Close()
+	s.history.Stop()
+	return err
+}
 
 // maxBodyBytes bounds a request body; a program load is the largest
 // legitimate payload.
@@ -527,6 +588,9 @@ func answerLines(res *kb.ExecResult) []string {
 		for _, f := range res.Describe.Formulas {
 			out = append(out, f.String())
 		}
+	case res.System != "":
+		// describe of a sys_* virtual relation: the fixed schema line.
+		out = append(out, res.System)
 	case res.Explanation != nil:
 		for _, tr := range res.Explanation.Trees {
 			out = append(out, tr.Fact.String())
@@ -835,6 +899,52 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// historyResponse is the /v1/debug/history body: the buffer's shape
+// plus every retained series, samples oldest first with ages relative
+// to the request.
+type historyResponse struct {
+	ResolutionSeconds float64         `json:"resolution_seconds"`
+	RetentionSeconds  float64         `json:"retention_seconds"`
+	DroppedSeries     int             `json:"dropped_series,omitempty"`
+	Series            []historySeries `json:"series"`
+}
+
+type historySeries struct {
+	Name    string          `json:"name"`
+	Type    string          `json:"type"`
+	Samples []historySample `json:"samples"`
+}
+
+type historySample struct {
+	AgeSeconds float64 `json:"age_seconds"`
+	Value      float64 `json:"value"`
+}
+
+// handleHistory serves the retained metrics history — the same data
+// sys_metric_history exposes to queries, shaped for dashboards and
+// `kdb top` sparklines.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	resp := &historyResponse{
+		ResolutionSeconds: s.history.Resolution().Seconds(),
+		RetentionSeconds:  s.history.Retention().Seconds(),
+		DroppedSeries:     s.history.Dropped(),
+		Series:            []historySeries{},
+	}
+	for _, series := range s.history.Snapshot() {
+		hs := historySeries{Name: series.Name, Type: series.Type}
+		for _, sm := range series.Samples {
+			age := now.Sub(sm.At).Seconds()
+			if age < 0 {
+				age = 0
+			}
+			hs.Samples = append(hs.Samples, historySample{AgeSeconds: age, Value: sm.Value})
+		}
+		resp.Series = append(resp.Series, hs)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // handleIndex names the API surface at the root.
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, `kdb serve:
@@ -850,6 +960,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   POST /v1/kb/{name}/checkpoint
   GET  /v1/debug/activity
   POST /v1/debug/activity/{id}/cancel
+  GET  /v1/debug/history
   GET  /healthz
   /metrics  /debug/vars  /debug/pprof/
 `)

@@ -1,0 +1,142 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSysRelationsOverHTTP: the engine's own telemetry answers through
+// the ordinary query routes — sys_metric after real traffic, sys_tenant
+// reflecting the server's tenant table, describe on the fixed schema.
+func TestSysRelationsOverHTTP(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+
+	for _, tenant := range []string{"alpha", "beta"} {
+		if code, out := post(t, ts, "/v1/kb/"+tenant+"/load", map[string]any{"program": "p(a). q(X) :- p(X)."}); code != http.StatusOK {
+			t.Fatalf("load %s: %d %v", tenant, code, out)
+		}
+	}
+	// Traffic so the request counters are non-zero.
+	if code, out := post(t, ts, "/v1/kb/alpha/retrieve", map[string]any{"stmt": "retrieve q(X)."}); code != http.StatusOK {
+		t.Fatalf("warm-up retrieve: %d %v", code, out)
+	}
+
+	code, out := post(t, ts, "/v1/kb/alpha/retrieve",
+		map[string]any{"stmt": "retrieve sys_metric(N, counter, V) where V > 0."})
+	if code != http.StatusOK {
+		t.Fatalf("sys_metric retrieve: %d %v", code, out)
+	}
+	if got := answers(out); len(got) == 0 {
+		t.Error("sys_metric returned no counter rows on a served KB")
+	}
+
+	code, out = post(t, ts, "/v1/kb/alpha/retrieve",
+		map[string]any{"stmt": "retrieve sys_tenant(N, O, D, P)."})
+	if code != http.StatusOK {
+		t.Fatalf("sys_tenant retrieve: %d %v", code, out)
+	}
+	got := answers(out)
+	if len(got) != 2 {
+		t.Fatalf("sys_tenant = %v, want both tenants", got)
+	}
+	for _, want := range []string{"sys_tenant(alpha, 1, 0, 0)", "sys_tenant(beta, 1, 0, 0)"} {
+		found := false
+		for _, g := range got {
+			if g == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("sys_tenant = %v, missing %s", got, want)
+		}
+	}
+
+	// sys_query_stats is on for served KBs; the warm-up statement shows up.
+	code, out = post(t, ts, "/v1/kb/alpha/retrieve",
+		map[string]any{"stmt": "retrieve sys_query_stats(S, C, T, M)."})
+	if code != http.StatusOK {
+		t.Fatalf("sys_query_stats retrieve: %d %v", code, out)
+	}
+	found := false
+	for _, g := range answers(out) {
+		if strings.Contains(g, "retrieve q(X).") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sys_query_stats = %v, missing the warm-up statement", answers(out))
+	}
+
+	code, out = post(t, ts, "/v1/kb/alpha/describe", map[string]any{"stmt": "describe sys_relation."})
+	if code != http.StatusOK {
+		t.Fatalf("describe sys_relation: %d %v", code, out)
+	}
+	if got := answers(out); len(got) == 0 || !strings.Contains(got[0], "sys_relation(Name, Arity, Facts)") {
+		t.Errorf("describe sys_relation = %v", answers(out))
+	}
+
+	// The namespace is reserved over HTTP too.
+	if code, _ := post(t, ts, "/v1/kb/alpha/load", map[string]any{"program": "sys_thing(a)."}); code == http.StatusOK {
+		t.Error("loading a sys_ definition over HTTP succeeded")
+	}
+	if code, _ := post(t, ts, "/v1/kb/alpha/assert", map[string]any{"fact": "sys_metric(a, counter, 1)"}); code == http.StatusOK {
+		t.Error("asserting a sys_ fact over HTTP succeeded")
+	}
+}
+
+// TestDebugHistoryEndpoint: /v1/debug/history serves the sampled
+// series with ages relative to now.
+func TestDebugHistoryEndpoint(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{HistoryResolution: 10 * time.Millisecond, HistoryRetention: time.Minute})
+
+	if code, out := post(t, ts, "/v1/kb/alpha/load", map[string]any{"program": "p(a)."}); code != http.StatusOK {
+		t.Fatalf("load: %d %v", code, out)
+	}
+	post(t, ts, "/v1/kb/alpha/retrieve", map[string]any{"stmt": "retrieve p(X)."})
+	s.history.Sample() // deterministic: force one sample now
+
+	resp, err := http.Get(ts.URL + "/v1/debug/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("history: %d", resp.StatusCode)
+	}
+	var out historyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ResolutionSeconds != 0.01 {
+		t.Errorf("resolution_seconds = %v", out.ResolutionSeconds)
+	}
+	if out.RetentionSeconds != 60 {
+		t.Errorf("retention_seconds = %v", out.RetentionSeconds)
+	}
+	if len(out.Series) == 0 {
+		t.Fatal("history has no series after traffic and a sample")
+	}
+	for _, s := range out.Series {
+		if s.Name == "" || s.Type == "" {
+			t.Errorf("series missing name/type: %+v", s)
+		}
+		for _, sm := range s.Samples {
+			if sm.AgeSeconds < 0 {
+				t.Errorf("%s: negative age %v", s.Name, sm.AgeSeconds)
+			}
+		}
+	}
+
+	// And the same buffer backs sys_metric_history via the query path.
+	code, out2 := post(t, ts, "/v1/kb/alpha/retrieve",
+		map[string]any{"stmt": "retrieve sys_metric_history(N, Age, V) where Age < 60."})
+	if code != http.StatusOK {
+		t.Fatalf("sys_metric_history retrieve: %d %v", code, out2)
+	}
+	if got := answers(out2); len(got) == 0 {
+		t.Error("sys_metric_history empty though /v1/debug/history has series")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kdb/internal/kb"
@@ -60,6 +61,13 @@ type Manager struct {
 	closed  bool
 	stop    chan struct{}
 	janitor sync.WaitGroup
+
+	// view is a lock-free copy of the open-tenant set, republished on
+	// every change. It exists for readers that must not take m.mu — the
+	// sys_tenant source runs inside query evaluation, and Close holds
+	// m.mu while draining in-flight queries, so a Snapshot there would
+	// deadlock shutdown.
+	view atomic.Pointer[map[string]*kb.KB]
 }
 
 // newManager builds a Manager; newKB opens or creates the KB for a
@@ -129,6 +137,7 @@ func (m *Manager) Acquire(name string) (*kb.KB, func(), error) {
 		}
 		t = &tenant{name: name, k: k}
 		m.tenants[name] = t
+		m.publishLocked()
 		if m.onOpenCount != nil {
 			m.onOpenCount(len(m.tenants))
 		}
@@ -166,6 +175,7 @@ func (m *Manager) makeRoomLocked() error {
 //kdb:locked mu
 func (m *Manager) evictLocked(t *tenant) {
 	delete(m.tenants, t.name)
+	m.publishLocked()
 	// Close waits for in-flight queries; refs == 0 guarantees none are
 	// running, so this cannot block on evaluation work.
 	_ = t.k.Close()
@@ -246,6 +256,28 @@ func (m *Manager) Snapshot() map[string]*kb.KB {
 	return out
 }
 
+// publishLocked republishes the lock-free tenant view after a change to
+// m.tenants. Callers hold m.mu.
+//
+//kdb:locked mu
+func (m *Manager) publishLocked() {
+	v := make(map[string]*kb.KB, len(m.tenants))
+	for name, t := range m.tenants {
+		v[name] = t.k
+	}
+	m.view.Store(&v)
+}
+
+// View returns the last published open-tenant set without taking m.mu.
+// The KBs are not pinned (see Snapshot); unlike Snapshot, View is safe
+// to call from inside query evaluation and during Close.
+func (m *Manager) View() map[string]*kb.KB {
+	if v := m.view.Load(); v != nil {
+		return *v
+	}
+	return nil
+}
+
 // Closed reports whether Close has begun; the health probe uses it.
 func (m *Manager) Closed() bool {
 	m.mu.Lock()
@@ -275,6 +307,7 @@ func (m *Manager) Close() error {
 	var errs []error
 	for name, t := range m.tenants {
 		delete(m.tenants, name)
+		m.publishLocked()
 		if err := t.k.Close(); err != nil {
 			errs = append(errs, fmt.Errorf("closing %s: %w", name, err))
 		}
